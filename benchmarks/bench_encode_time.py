@@ -1,0 +1,37 @@
+"""Experiment E-time: encoding throughput of every scheme across tree sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alstrup import AlstrupScheme
+from repro.core.freedman import FreedmanScheme
+from repro.core.hld import HLDScheme
+from repro.core.separator import SeparatorScheme
+from repro.generators.workloads import make_tree
+
+SCHEMES = {
+    "freedman": FreedmanScheme,
+    "alstrup": AlstrupScheme,
+    "hld-fixed": HLDScheme,
+    "separator": SeparatorScheme,
+}
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("n", [512, 2048])
+def test_encode_time(benchmark, scheme_name, n):
+    tree = make_tree("random", n, seed=23)
+    scheme = SCHEMES[scheme_name]()
+
+    labels = benchmark(scheme.encode, tree)
+
+    benchmark.extra_info.update(
+        {
+            "experiment": "E-time",
+            "scheme": scheme_name,
+            "n": n,
+            "labels": len(labels),
+            "nodes_per_second_hint": n,
+        }
+    )

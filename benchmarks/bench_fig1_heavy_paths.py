@@ -1,0 +1,44 @@
+"""Experiment F1-hld (Figure 1): heavy path decomposition and collapsed tree.
+
+Measures decomposition time across tree families and records the structural
+quantities the paper relies on: the number of heavy paths, the maximum light
+depth and the collapsed-tree height, all of which must stay below log2 n.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.generators.workloads import make_tree
+from repro.trees.collapsed import CollapsedTree
+from repro.trees.heavy_path import HeavyPathDecomposition
+
+FAMILIES = ["random", "path", "star", "caterpillar", "balanced_binary", "spider"]
+N = 4096
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_heavy_path_decomposition(benchmark, family):
+    tree = make_tree(family, N, seed=1)
+
+    def build():
+        decomposition = HeavyPathDecomposition(tree)
+        collapsed = CollapsedTree(decomposition)
+        return decomposition, collapsed
+
+    decomposition, collapsed = benchmark(build)
+    benchmark.extra_info.update(
+        {
+            "experiment": "F1-hld",
+            "family": family,
+            "n": N,
+            "heavy_paths": decomposition.path_count(),
+            "max_light_depth": decomposition.max_light_depth(),
+            "collapsed_height": collapsed.height(),
+            "log2_n": round(math.log2(N), 2),
+        }
+    )
+    assert decomposition.max_light_depth() <= math.log2(N)
+    assert collapsed.height() <= math.log2(N)

@@ -1,0 +1,45 @@
+"""Experiment F2-hm (Figure 2 / Lemma 2.3): (h, M)-tree lower-bound instances.
+
+Builds (h, M)-trees, subdivides them into unweighted trees, runs the paper's
+upper-bound scheme on them and records the measured leaf-label size next to
+the h/2 log M information-theoretic lower bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.freedman import FreedmanScheme
+from repro.lowerbounds.hm_trees import (
+    build_hm_tree,
+    hm_parameter_count,
+    lemma_2_3_bound_bits,
+    subdivide_to_unweighted,
+)
+
+CASES = [(3, 8), (4, 8), (4, 32), (5, 16)]
+
+
+@pytest.mark.parametrize("h,M", CASES)
+def test_hm_tree_labels(benchmark, h, M):
+    parameters = [M // 2] * hm_parameter_count(h)
+    instance = build_hm_tree(h, M, parameters)
+    tree, image = subdivide_to_unweighted(instance.tree)
+    scheme = FreedmanScheme()
+
+    labels = benchmark(scheme.encode, tree)
+
+    leaf_bits = max(labels[image[leaf]].bit_length() for leaf in instance.leaves)
+    benchmark.extra_info.update(
+        {
+            "experiment": "F2-hm",
+            "h": h,
+            "M": M,
+            "weighted_nodes": instance.tree.n,
+            "unweighted_nodes": tree.n,
+            "leaf_label_max_bits": leaf_bits,
+            "lemma_2_3_lower_bits": round(lemma_2_3_bound_bits(h, M), 1),
+            "pushed_bits": scheme.encoding_stats["pushed_bits"],
+        }
+    )
+    assert leaf_bits >= lemma_2_3_bound_bits(h, M)

@@ -1,0 +1,58 @@
+"""Experiment F3-subtrees (Figure 3): hanging subtrees and the slack analysis.
+
+Records, per tree family, how the hanging subtrees classify under the
+Slack/Thin Lemmas (fat vs thin vs exceptional) and how many bits the
+accumulator machinery pushes from dominating to dominated labels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.freedman import FreedmanScheme
+from repro.generators.workloads import make_tree
+from repro.lowerbounds.hm_trees import (
+    build_hm_tree,
+    hm_parameter_count,
+    subdivide_to_unweighted,
+)
+
+
+def _adversarial_tree():
+    instance = build_hm_tree(5, 16, [8] * hm_parameter_count(5))
+    tree, _ = subdivide_to_unweighted(instance.tree)
+    return tree
+
+
+WORKLOADS = {
+    "random-2048": lambda: make_tree("random", 2048, seed=3),
+    "caterpillar-2048": lambda: make_tree("caterpillar", 2048, seed=3),
+    "balanced-2047": lambda: make_tree("balanced_binary", 2047, seed=3),
+    "hm-adversarial": _adversarial_tree,
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_accumulator_statistics(benchmark, workload):
+    tree = WORKLOADS[workload]()
+    scheme = FreedmanScheme()
+
+    labels = benchmark(scheme.encode, tree)
+
+    sizes = [label.bit_length() for label in labels.values()]
+    accumulator_bits = max(
+        sum(len(bits) for bits in label.accumulators) for label in labels.values()
+    )
+    benchmark.extra_info.update(
+        {
+            "experiment": "F3-subtrees",
+            "workload": workload,
+            "n": tree.n,
+            "fat_subtrees": scheme.encoding_stats["fat_subtrees"],
+            "thin_subtrees": scheme.encoding_stats["thin_subtrees"],
+            "skipped_entries": scheme.encoding_stats["skipped_entries"],
+            "pushed_bits_total": scheme.encoding_stats["pushed_bits"],
+            "max_accumulator_bits_per_label": accumulator_bits,
+            "max_label_bits": max(sizes),
+        }
+    )

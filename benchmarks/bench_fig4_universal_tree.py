@@ -1,0 +1,43 @@
+"""Experiment F4-universal (Figure 4 / Lemmas 3.6-3.7): universal trees.
+
+Runs the Lemma 3.6 construction over every rooted tree on up to n nodes
+(small n — the tree count grows as (n-1)!), records the resulting universal
+tree size against the 2^S bound and the Goldberg-Livshits formula, and
+verifies universality by embedding every tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.level_ancestor import LevelAncestorScheme
+from repro.universal.embedding import embeds_as_rooted_subtree
+from repro.universal.goldberg import goldberg_livshits_log2_size, lemma_3_6_size_bound
+from repro.universal.universal_tree import all_rooted_trees_up_to, universal_tree_for_small_n
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_universal_tree_construction(benchmark, n):
+    scheme = LevelAncestorScheme()
+
+    result = benchmark(universal_tree_for_small_n, n, scheme)
+
+    max_label_bits = 0
+    trees = list(all_rooted_trees_up_to(n))
+    for tree in trees:
+        labels = scheme.encode(tree)
+        max_label_bits = max(max_label_bits, max(l.bit_length() for l in labels.values()))
+    assert all(embeds_as_rooted_subtree(tree, result.tree) for tree in trees)
+
+    benchmark.extra_info.update(
+        {
+            "experiment": "F4-universal",
+            "n": n,
+            "trees_covered": len(trees),
+            "labels_observed": result.label_count,
+            "universal_tree_size": result.tree.n,
+            "lemma_3_6_bound": lemma_3_6_size_bound(max_label_bits),
+            "max_parent_label_bits": max_label_bits,
+            "goldberg_livshits_log2": round(goldberg_livshits_log2_size(n), 2),
+        }
+    )

@@ -1,0 +1,52 @@
+"""Experiment F5-regular (Figure 5 / Lemma 4.1): regular-tree instances.
+
+Builds (x, h, d)-regular trees, verifies the Lemma 4.1 counting bound
+numerically, and measures k-distance labels on the instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kdistance import KDistanceScheme
+from repro.lowerbounds.regular_trees import (
+    build_regular_tree,
+    exact_pairwise_common_sum,
+    lemma_4_1_total_bound,
+    regular_tree_leaf_count,
+)
+
+CASES = [
+    {"k": 1, "h": 2, "d": 2},
+    {"k": 2, "h": 2, "d": 2},
+    {"k": 1, "h": 3, "d": 2},
+    {"k": 2, "h": 2, "d": 3},
+]
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"k{c['k']}-h{c['h']}-d{c['d']}")
+def test_regular_tree_kdistance_labels(benchmark, case):
+    k, h, d = case["k"], case["h"], case["d"]
+    x = [1 + (i % h) for i in range(k)]
+    tree = build_regular_tree(x, h, d)
+    scheme = KDistanceScheme(2 * k)
+
+    labels = benchmark(scheme.encode, tree)
+
+    sizes = [label.bit_length() for label in labels.values()]
+    exact_sum = exact_pairwise_common_sum(h, d, k)
+    bound = lemma_4_1_total_bound(h, d, k)
+    assert exact_sum <= bound + 1e-9
+    benchmark.extra_info.update(
+        {
+            "experiment": "F5-regular",
+            "k": k,
+            "h": h,
+            "d": d,
+            "nodes": tree.n,
+            "leaves": regular_tree_leaf_count(h, d, k),
+            "kdistance_max_label_bits": max(sizes),
+            "lemma_4_1_bound": round(bound, 1),
+            "exact_pairwise_sum": exact_sum,
+        }
+    )

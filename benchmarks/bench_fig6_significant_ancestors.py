@@ -1,0 +1,54 @@
+"""Experiment F6-sig (Figure 6): significant ancestors and NCSA queries.
+
+Measures the per-node cost of the significant-ancestor machinery: how many
+significant ancestors a node has, how many fall within distance k (and are
+therefore stored), and the latency of the NCSA-based bounded-distance query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kdistance import KDistanceScheme
+from repro.generators.workloads import make_tree, near_pairs
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.trees.heavy_path import HeavyPathDecomposition
+
+N = 2048
+K_VALUES = [2, 8, 32]
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_significant_ancestor_queries(benchmark, k):
+    tree = make_tree("random", N, seed=17)
+    scheme = KDistanceScheme(k)
+    labels = scheme.encode(tree)
+    oracle = TreeDistanceOracle(tree)
+    pairs = near_pairs(tree, 200, max_distance=k, seed=2)
+
+    def run_queries():
+        correct = 0
+        for u, v in pairs:
+            expected = oracle.distance(u, v)
+            expected = expected if expected <= k else None
+            if scheme.bounded_distance(labels[u], labels[v]) == expected:
+                correct += 1
+        return correct
+
+    correct = benchmark(run_queries)
+    assert correct == len(pairs)
+
+    decomposition = HeavyPathDecomposition(tree)
+    chain_lengths = [decomposition.light_depth(v) + 1 for v in tree.nodes()]
+    stored = [len(label.distances) for label in labels.values()]
+    benchmark.extra_info.update(
+        {
+            "experiment": "F6-sig",
+            "n": N,
+            "k": k,
+            "max_significant_ancestors": max(chain_lengths),
+            "avg_significant_ancestors": round(sum(chain_lengths) / len(chain_lengths), 2),
+            "avg_stored_within_k": round(sum(stored) / len(stored), 2),
+            "queries": len(pairs),
+        }
+    )

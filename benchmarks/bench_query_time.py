@@ -1,0 +1,84 @@
+"""Experiment Q-time: query latency of every scheme.
+
+The paper claims constant query time in the word-RAM model; on CPython the
+interesting comparison is the *relative* cost of the decoders (the Freedman
+decoder touches one entry and one accumulator, the separator decoder scans
+O(log n) centroids, the naive decoder scans whole root paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alstrup import AlstrupScheme
+from repro.core.approximate import ApproximateScheme
+from repro.core.freedman import FreedmanScheme
+from repro.core.hld import HLDScheme
+from repro.core.kdistance import KDistanceScheme
+from repro.core.naive import NaiveListScheme
+from repro.core.separator import SeparatorScheme
+
+EXACT_SCHEMES = {
+    "freedman": FreedmanScheme,
+    "alstrup": AlstrupScheme,
+    "hld-fixed": HLDScheme,
+    "separator": SeparatorScheme,
+    "naive-list": NaiveListScheme,
+}
+
+
+@pytest.mark.parametrize("scheme_name", sorted(EXACT_SCHEMES))
+def test_exact_query_time(benchmark, scheme_name, benchmark_tree, benchmark_pairs, benchmark_oracle):
+    scheme = EXACT_SCHEMES[scheme_name]()
+    labels = scheme.encode(benchmark_tree)
+
+    def run_queries():
+        total = 0
+        for u, v in benchmark_pairs:
+            total += scheme.distance(labels[u], labels[v])
+        return total
+
+    total = benchmark(run_queries)
+    expected = sum(benchmark_oracle.distance(u, v) for u, v in benchmark_pairs)
+    assert total == expected
+    benchmark.extra_info.update(
+        {
+            "experiment": "Q-time",
+            "scheme": scheme_name,
+            "n": benchmark_tree.n,
+            "queries_per_round": len(benchmark_pairs),
+        }
+    )
+
+
+def test_kdistance_query_time(benchmark, benchmark_tree, benchmark_pairs):
+    scheme = KDistanceScheme(8)
+    labels = scheme.encode(benchmark_tree)
+
+    def run_queries():
+        hits = 0
+        for u, v in benchmark_pairs:
+            if scheme.bounded_distance(labels[u], labels[v]) is not None:
+                hits += 1
+        return hits
+
+    benchmark(run_queries)
+    benchmark.extra_info.update(
+        {"experiment": "Q-time", "scheme": "k-distance(k=8)", "n": benchmark_tree.n}
+    )
+
+
+def test_approximate_query_time(benchmark, benchmark_tree, benchmark_pairs):
+    scheme = ApproximateScheme(0.25)
+    labels = scheme.encode(benchmark_tree)
+
+    def run_queries():
+        total = 0.0
+        for u, v in benchmark_pairs:
+            total += scheme.approximate_distance(labels[u], labels[v])
+        return total
+
+    benchmark(run_queries)
+    benchmark.extra_info.update(
+        {"experiment": "Q-time", "scheme": "approximate(eps=0.25)", "n": benchmark_tree.n}
+    )

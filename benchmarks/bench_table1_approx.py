@@ -1,0 +1,46 @@
+"""Experiment T1-approx: the "Approximate" row of the summary table.
+
+Sweeps epsilon, measures encoding time and label sizes, and records the
+Theta(log(1/eps) log n) reference together with the worst observed stretch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approximate import ApproximateScheme
+from repro.generators.workloads import make_tree, random_pairs
+from repro.lowerbounds.bounds import approx_bound_bits
+from repro.oracles.exact_oracle import TreeDistanceOracle
+
+N = 2048
+EPSILONS = [1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125]
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+def test_approximate_label_sizes(benchmark, eps):
+    tree = make_tree("random", N, seed=13)
+    scheme = ApproximateScheme(eps)
+
+    labels = benchmark(scheme.encode, tree)
+
+    sizes = [label.bit_length() for label in labels.values()]
+    oracle = TreeDistanceOracle(tree)
+    worst = 1.0
+    for u, v in random_pairs(tree, 200, seed=5):
+        exact = oracle.distance(u, v)
+        if exact == 0:
+            continue
+        worst = max(worst, scheme.approximate_distance(labels[u], labels[v]) / exact)
+    benchmark.extra_info.update(
+        {
+            "experiment": "T1-approx",
+            "n": N,
+            "eps": eps,
+            "max_label_bits": max(sizes),
+            "avg_label_bits": round(sum(sizes) / len(sizes), 1),
+            "paper_bound_bits": round(approx_bound_bits(N, eps), 1),
+            "worst_observed_stretch": round(worst, 4),
+            "allowed_stretch": 1.0 + eps,
+        }
+    )

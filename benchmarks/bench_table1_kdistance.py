@@ -1,0 +1,74 @@
+"""Experiment T1-kdist-small / T1-kdist-large: the k-distance rows of Table 1.
+
+Sweeps k across both regimes (k < log n and k >= log n), measures encoding
+time and label sizes and records the matching bound formulas
+(log n + O(k log(log n / k)) respectively O(log n log(k / log n))).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.kdistance import KDistanceScheme
+from repro.generators.workloads import make_tree
+from repro.lowerbounds.bounds import (
+    kdistance_large_bound_bits,
+    kdistance_small_upper_bound_bits,
+)
+
+N = 2048
+K_VALUES = [1, 2, 4, 8, 11, 44, 176, 1024]
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_kdistance_label_sizes(benchmark, k):
+    tree = make_tree("random", N, seed=11)
+    scheme = KDistanceScheme(k)
+
+    labels = benchmark(scheme.encode, tree)
+
+    sizes = [label.bit_length() for label in labels.values()]
+    log_n = math.log2(N)
+    if k < log_n:
+        bound = kdistance_small_upper_bound_bits(N, k)
+        regime = "k < log n"
+    else:
+        bound = kdistance_large_bound_bits(N, k)
+        regime = "k >= log n"
+    benchmark.extra_info.update(
+        {
+            "experiment": "T1-kdistance",
+            "n": N,
+            "k": k,
+            "regime": regime,
+            "max_label_bits": max(sizes),
+            "avg_label_bits": round(sum(sizes) / len(sizes), 1),
+            "paper_bound_bits": round(bound, 1),
+            "log_n_bits": round(log_n, 1),
+        }
+    )
+
+
+@pytest.mark.parametrize("k", [2, 8])
+def test_kdistance_query_throughput(benchmark, k, benchmark_tree, benchmark_pairs):
+    scheme = KDistanceScheme(k)
+    labels = scheme.encode(benchmark_tree)
+
+    def run_queries():
+        hits = 0
+        for u, v in benchmark_pairs:
+            if scheme.bounded_distance(labels[u], labels[v]) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(run_queries)
+    benchmark.extra_info.update(
+        {
+            "experiment": "T1-kdistance-query",
+            "k": k,
+            "queries": len(benchmark_pairs),
+            "within_k": hits,
+        }
+    )

@@ -1,0 +1,63 @@
+"""Approximate evolutionary distances in a large phylogeny.
+
+A phylogenetic tree over many taxa is a natural workload for approximate
+distance labels: pairwise path lengths ("how far apart are two species in
+the tree?") are queried constantly, but a multiplicative error of a few
+percent is perfectly acceptable — and the (1+eps) labels of Section 5 are an
+order of magnitude smaller than exact labels.
+
+Run with::
+
+    python examples/phylogeny_distances.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import AlstrupScheme, ApproximateScheme, TreeDistanceOracle
+from repro.trees.tree import RootedTree
+
+
+def random_phylogeny(taxa: int, seed: int = 0) -> RootedTree:
+    """A random binary phylogeny: repeatedly split a random leaf into two."""
+    rng = random.Random(seed)
+    parents: list[int | None] = [None]
+    leaves = [0]
+    while len(leaves) < taxa:
+        split = leaves.pop(rng.randrange(len(leaves)))
+        for _ in range(2):
+            parents.append(split)
+            leaves.append(len(parents) - 1)
+    return RootedTree(parents)
+
+
+def main() -> None:
+    taxa = 4000
+    tree = random_phylogeny(taxa, seed=3)
+    oracle = TreeDistanceOracle(tree)
+    print(f"phylogeny with {taxa} taxa ({tree.n} tree nodes), height {tree.height()}")
+
+    exact = AlstrupScheme()
+    exact_labels = exact.encode(tree)
+    exact_bits = max(label.bit_length() for label in exact_labels.values())
+
+    print("\n eps    max label bits   worst stretch on 300 sampled pairs")
+    rng = random.Random(9)
+    pairs = [(rng.randrange(tree.n), rng.randrange(tree.n)) for _ in range(300)]
+    for eps in (1.0, 0.25, 0.05):
+        scheme = ApproximateScheme(eps)
+        labels = scheme.encode(tree)
+        worst = 1.0
+        for u, v in pairs:
+            reference = oracle.distance(u, v)
+            if reference:
+                worst = max(worst, scheme.approximate_distance(labels[u], labels[v]) / reference)
+        bits = max(label.bit_length() for label in labels.values())
+        print(f" {eps:4.2f}   {bits:14d}   {worst:.3f}  (allowed {1 + eps:.2f})")
+
+    print(f"\nexact labels for comparison: {exact_bits} bits")
+
+
+if __name__ == "__main__":
+    main()

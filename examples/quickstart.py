@@ -1,0 +1,66 @@
+"""Quickstart: label a tree and answer distance queries from labels alone.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AlstrupScheme,
+    FreedmanScheme,
+    KDistanceScheme,
+    ApproximateScheme,
+    TreeDistanceOracle,
+    random_prufer_tree,
+)
+
+
+def main() -> None:
+    # 1. build (or load) a rooted tree --------------------------------------
+    tree = random_prufer_tree(2000, seed=42)
+    oracle = TreeDistanceOracle(tree)  # ground truth, used only for checking
+
+    # 2. exact distance labels (the paper's 1/4 log^2 n scheme) -------------
+    scheme = FreedmanScheme()
+    labels = scheme.encode(tree)
+
+    u, v = 17, 1234
+    print("== exact distance labeling (Freedman et al.) ==")
+    print(f"label of node {u}: {labels[u].bit_length()} bits")
+    print(f"label of node {v}: {labels[v].bit_length()} bits")
+    print(f"distance from labels : {scheme.distance(labels[u], labels[v])}")
+    print(f"distance from oracle : {oracle.distance(u, v)}")
+
+    # labels are honest bit strings: serialise, ship, parse, query ----------
+    bits_u = labels[u].to_bits()
+    bits_v = labels[v].to_bits()
+    print(f"distance from raw bits: {scheme.distance_from_bits(bits_u, bits_v)}")
+
+    # 3. the 1/2 log^2 n baseline the paper improves on ---------------------
+    baseline = AlstrupScheme()
+    baseline_labels = baseline.encode(tree)
+    print("\n== label sizes (max over all nodes, in bits) ==")
+    print(f"freedman : {max(l.bit_length() for l in labels.values())}")
+    print(f"alstrup  : {max(l.bit_length() for l in baseline_labels.values())}")
+
+    # 4. bounded distances: is v within k hops of u? ------------------------
+    k = 8
+    bounded = KDistanceScheme(k)
+    bounded_labels = bounded.encode(tree)
+    answer = bounded.bounded_distance(bounded_labels[u], bounded_labels[v])
+    print(f"\n== k-distance labeling (k={k}) ==")
+    print(f"within {k} hops? {'yes, distance ' + str(answer) if answer is not None else 'no'}")
+
+    # 5. approximate distances with much smaller labels ---------------------
+    approx = ApproximateScheme(epsilon=0.5)
+    approx_labels = approx.encode(tree)
+    estimate = approx.approximate_distance(approx_labels[u], approx_labels[v])
+    print("\n== (1+eps)-approximate labeling (eps=0.5) ==")
+    print(f"estimate {estimate:.1f} vs exact {oracle.distance(u, v)}")
+    print(f"max label size: {max(l.bit_length() for l in approx_labels.values())} bits")
+
+
+if __name__ == "__main__":
+    main()

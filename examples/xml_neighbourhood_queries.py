@@ -1,0 +1,65 @@
+"""Bounded-distance queries over an XML-like document hierarchy.
+
+XML processing engines often need to decide whether two elements are close
+relatives ("is this node within k levels/steps of that one?") without
+materialising the whole document.  The k-distance labels of Section 4 answer
+exactly this from two short labels: the exact distance when it is at most k,
+and "further than k" otherwise.
+
+Run with::
+
+    python examples/xml_neighbourhood_queries.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import KDistanceScheme, TreeDistanceOracle
+from repro.trees.tree import RootedTree
+
+
+def random_document(elements: int, seed: int = 0) -> RootedTree:
+    """A DOM-like tree: shallow, with bursts of many children per element."""
+    rng = random.Random(seed)
+    parents: list[int | None] = [None]
+    open_elements = [0]
+    while len(parents) < elements:
+        container = rng.choice(open_elements)
+        children = min(rng.randint(1, 12), elements - len(parents))
+        for _ in range(children):
+            parents.append(container)
+            if rng.random() < 0.35:
+                open_elements.append(len(parents) - 1)
+    return RootedTree(parents)
+
+
+def main() -> None:
+    document = random_document(5000, seed=21)
+    oracle = TreeDistanceOracle(document)
+    print(f"document with {document.n} elements, height {document.height()}")
+
+    for k in (2, 4, 8):
+        scheme = KDistanceScheme(k)
+        labels = scheme.encode(document)
+        sizes = [label.bit_length() for label in labels.values()]
+        print(
+            f"\nk = {k}: max label {max(sizes)} bits "
+            f"(log2 n = {math.log2(document.n):.1f} bits), "
+            f"avg {sum(sizes) / len(sizes):.1f} bits"
+        )
+
+        rng = random.Random(k)
+        shown = 0
+        while shown < 4:
+            u, v = rng.randrange(document.n), rng.randrange(document.n)
+            answer = scheme.bounded_distance(labels[u], labels[v])
+            truth = oracle.distance(u, v)
+            verdict = f"distance {answer}" if answer is not None else f"further than {k}"
+            print(f"  elements {u:5d} / {v:5d}: {verdict:18s} (exact distance {truth})")
+            shown += 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in offline environments whose pip cannot
+build PEP 517 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

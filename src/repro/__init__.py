@@ -1,0 +1,72 @@
+"""repro — reproduction of "Optimal Distance Labeling Schemes for Trees".
+
+Freedman, Gawrychowski, Nicholson, Weimann (PODC 2017, arXiv:1608.00212).
+
+Public API highlights
+---------------------
+
+* :class:`repro.trees.RootedTree` and the builders in :mod:`repro.trees`;
+* the exact schemes :class:`repro.core.FreedmanScheme` (the paper's
+  1/4 log² n contribution), :class:`repro.core.AlstrupScheme` (1/2 log² n),
+  :class:`repro.core.HLDScheme`, :class:`repro.core.SeparatorScheme`;
+* the bounded scheme :class:`repro.core.KDistanceScheme` (Section 4);
+* the approximate scheme :class:`repro.core.ApproximateScheme` (Section 5);
+* the level-ancestor scheme :class:`repro.core.LevelAncestorScheme` and the
+  universal-tree construction of Lemma 3.6 in :mod:`repro.universal`;
+* the lower-bound instance families in :mod:`repro.lowerbounds`;
+* the measurement harness in :mod:`repro.analysis`.
+
+Quick start::
+
+    from repro import FreedmanScheme, random_prufer_tree
+
+    tree = random_prufer_tree(1000, seed=7)
+    scheme = FreedmanScheme()
+    labels = scheme.encode(tree)
+    print(scheme.distance(labels[3], labels[42]))
+"""
+
+from repro.core import (
+    AdjacencyScheme,
+    AlstrupScheme,
+    ApproximateScheme,
+    FreedmanScheme,
+    HLDScheme,
+    KDistanceScheme,
+    LevelAncestorScheme,
+    NaiveListScheme,
+    SeparatorScheme,
+)
+from repro.generators import (
+    balanced_binary_tree,
+    caterpillar_tree,
+    path_tree,
+    random_prufer_tree,
+    star_tree,
+)
+from repro.oracles import TreeDistanceOracle
+from repro.trees import RootedTree, tree_from_edges, tree_from_parents
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RootedTree",
+    "tree_from_parents",
+    "tree_from_edges",
+    "TreeDistanceOracle",
+    "FreedmanScheme",
+    "AlstrupScheme",
+    "HLDScheme",
+    "SeparatorScheme",
+    "NaiveListScheme",
+    "KDistanceScheme",
+    "ApproximateScheme",
+    "AdjacencyScheme",
+    "LevelAncestorScheme",
+    "random_prufer_tree",
+    "path_tree",
+    "star_tree",
+    "caterpillar_tree",
+    "balanced_binary_tree",
+    "__version__",
+]

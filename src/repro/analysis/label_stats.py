@@ -1,0 +1,174 @@
+"""Per-scheme measurement: label sizes, encode time, query time, correctness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.trees.tree import RootedTree
+
+
+@dataclass
+class LabelMeasurement:
+    """Outcome of measuring one scheme on one tree."""
+
+    scheme: str
+    family: str
+    n: int
+    max_bits: int
+    average_bits: float
+    core_max_bits: int | None
+    encode_seconds: float
+    query_microseconds: float
+    queries_checked: int
+    mismatches: int
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        """Flat dictionary for table formatting."""
+        row = {
+            "scheme": self.scheme,
+            "family": self.family,
+            "n": self.n,
+            "max_bits": self.max_bits,
+            "avg_bits": round(self.average_bits, 1),
+            "core_max_bits": self.core_max_bits,
+            "encode_s": round(self.encode_seconds, 3),
+            "query_us": round(self.query_microseconds, 2),
+            "mismatches": self.mismatches,
+        }
+        row.update(self.extra)
+        return row
+
+
+def measure_scheme(
+    scheme,
+    tree: RootedTree,
+    pairs: list[tuple[int, int]],
+    family: str = "?",
+    oracle: TreeDistanceOracle | None = None,
+) -> LabelMeasurement:
+    """Encode a tree, measure label sizes and time/verify the queries."""
+    if oracle is None:
+        oracle = TreeDistanceOracle(tree)
+
+    start = time.perf_counter()
+    labels = scheme.encode(tree)
+    encode_seconds = time.perf_counter() - start
+
+    sizes = [label.bit_length() for label in labels.values()]
+    core_sizes = [
+        label.distance_array_bits()
+        for label in labels.values()
+        if hasattr(label, "distance_array_bits")
+    ]
+
+    mismatches = 0
+    start = time.perf_counter()
+    for u, v in pairs:
+        answer = scheme.distance(labels[u], labels[v])
+        if answer != oracle.distance(u, v):
+            mismatches += 1
+    elapsed = time.perf_counter() - start
+
+    return LabelMeasurement(
+        scheme=scheme.name,
+        family=family,
+        n=tree.n,
+        max_bits=max(sizes),
+        average_bits=sum(sizes) / len(sizes),
+        core_max_bits=max(core_sizes) if core_sizes else None,
+        encode_seconds=encode_seconds,
+        query_microseconds=(elapsed / max(len(pairs), 1)) * 1e6,
+        queries_checked=len(pairs),
+        mismatches=mismatches,
+    )
+
+
+def measure_bounded_scheme(
+    scheme,
+    tree: RootedTree,
+    pairs: list[tuple[int, int]],
+    family: str = "?",
+    oracle: TreeDistanceOracle | None = None,
+) -> LabelMeasurement:
+    """Like :func:`measure_scheme` but for k-distance schemes."""
+    if oracle is None:
+        oracle = TreeDistanceOracle(tree)
+
+    start = time.perf_counter()
+    labels = scheme.encode(tree)
+    encode_seconds = time.perf_counter() - start
+    sizes = [label.bit_length() for label in labels.values()]
+
+    mismatches = 0
+    start = time.perf_counter()
+    for u, v in pairs:
+        answer = scheme.bounded_distance(labels[u], labels[v])
+        exact = oracle.distance(u, v)
+        expected = exact if exact <= scheme.k else None
+        if answer != expected:
+            mismatches += 1
+    elapsed = time.perf_counter() - start
+
+    return LabelMeasurement(
+        scheme=f"{scheme.name}(k={scheme.k})",
+        family=family,
+        n=tree.n,
+        max_bits=max(sizes),
+        average_bits=sum(sizes) / len(sizes),
+        core_max_bits=None,
+        encode_seconds=encode_seconds,
+        query_microseconds=(elapsed / max(len(pairs), 1)) * 1e6,
+        queries_checked=len(pairs),
+        mismatches=mismatches,
+        extra={"k": scheme.k},
+    )
+
+
+def measure_approximate_scheme(
+    scheme,
+    tree: RootedTree,
+    pairs: list[tuple[int, int]],
+    family: str = "?",
+    oracle: TreeDistanceOracle | None = None,
+) -> LabelMeasurement:
+    """Like :func:`measure_scheme` but for (1+eps)-approximate schemes."""
+    if oracle is None:
+        oracle = TreeDistanceOracle(tree)
+
+    start = time.perf_counter()
+    labels = scheme.encode(tree)
+    encode_seconds = time.perf_counter() - start
+    sizes = [label.bit_length() for label in labels.values()]
+
+    mismatches = 0
+    worst_ratio = 1.0
+    start = time.perf_counter()
+    for u, v in pairs:
+        answer = scheme.approximate_distance(labels[u], labels[v])
+        exact = oracle.distance(u, v)
+        if exact == 0:
+            if answer != 0:
+                mismatches += 1
+            continue
+        ratio = answer / exact
+        worst_ratio = max(worst_ratio, ratio)
+        if not (1.0 - 1e-9 <= ratio <= 1.0 + scheme.epsilon + 1e-9):
+            mismatches += 1
+    elapsed = time.perf_counter() - start
+
+    return LabelMeasurement(
+        scheme=f"{scheme.name}(eps={scheme.epsilon})",
+        family=family,
+        n=tree.n,
+        max_bits=max(sizes),
+        average_bits=sum(sizes) / len(sizes),
+        core_max_bits=None,
+        encode_seconds=encode_seconds,
+        query_microseconds=(elapsed / max(len(pairs), 1)) * 1e6,
+        queries_checked=len(pairs),
+        mismatches=mismatches,
+        extra={"eps": scheme.epsilon, "worst_ratio": round(worst_ratio, 4)},
+    )

@@ -1,0 +1,43 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(rows: Iterable[dict], columns: list[str] | None = None) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def cell(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(cell(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    body = [
+        "  ".join(cell(row.get(column)).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_comparison(measured: float, reference: float, label: str) -> str:
+    """One-line 'measured vs reference' summary."""
+    ratio = measured / reference if reference else float("inf")
+    return f"{label}: measured={measured:.1f} reference={reference:.1f} ratio={ratio:.2f}"

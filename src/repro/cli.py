@@ -1,0 +1,122 @@
+"""Command-line interface: ``repro-labels <command>``.
+
+Commands mirror the experiment index of DESIGN.md so every table/figure of
+the paper can be regenerated from the shell::
+
+    repro-labels table1-exact --sizes 256 1024 4096
+    repro-labels table1-kdistance --sizes 1024
+    repro-labels table1-approx
+    repro-labels fig1 | fig2 | fig4 | fig5
+    repro-labels demo --family random --n 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    run_fig1_heavy_paths,
+    run_fig2_hm_trees,
+    run_fig4_universal_tree,
+    run_fig5_regular_trees,
+    run_table1_approx,
+    run_table1_exact,
+    run_table1_kdistance,
+)
+from repro.analysis.reporting import format_table
+
+
+def _add_size_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sizes", type=int, nargs="+", default=None)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-labels",
+        description="Reproduction of 'Optimal Distance Labeling Schemes for Trees'",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    exact = commands.add_parser("table1-exact", help="exact label sizes (Table 1)")
+    _add_size_options(exact)
+    exact.add_argument("--families", nargs="+", default=None)
+
+    kdist = commands.add_parser("table1-kdistance", help="k-distance label sizes")
+    _add_size_options(kdist)
+    kdist.add_argument("--ks", type=int, nargs="+", default=None)
+
+    approx = commands.add_parser("table1-approx", help="approximate label sizes")
+    _add_size_options(approx)
+    approx.add_argument("--epsilons", type=float, nargs="+", default=None)
+
+    commands.add_parser("fig1", help="heavy path / collapsed tree structure")
+    commands.add_parser("fig2", help="(h, M)-tree lower-bound instances")
+    fig4 = commands.add_parser("fig4", help="universal tree from parent labels")
+    fig4.add_argument("--max-n", type=int, default=5)
+    commands.add_parser("fig5", help="regular-tree lower-bound instances")
+
+    demo = commands.add_parser("demo", help="encode one tree and answer queries")
+    demo.add_argument("--family", default="random")
+    demo.add_argument("--n", type=int, default=1000)
+    demo.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _demo(family: str, n: int, seed: int) -> str:
+    from repro.core import AlstrupScheme, FreedmanScheme
+    from repro.generators.workloads import make_tree, random_pairs
+    from repro.oracles.exact_oracle import TreeDistanceOracle
+
+    tree = make_tree(family, n, seed)
+    oracle = TreeDistanceOracle(tree)
+    lines = [f"tree family={family} n={n}"]
+    for scheme in (FreedmanScheme(), AlstrupScheme()):
+        labels = scheme.encode(tree)
+        sizes = [label.bit_length() for label in labels.values()]
+        checked = sum(
+            1
+            for u, v in random_pairs(tree, 100, seed)
+            if scheme.distance(labels[u], labels[v]) == oracle.distance(u, v)
+        )
+        lines.append(
+            f"  {scheme.name:10s} max={max(sizes):4d} bits  "
+            f"avg={sum(sizes) / len(sizes):7.1f} bits  verified {checked}/100 queries"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1-exact":
+        rows = run_table1_exact(args.sizes, args.families, args.queries, args.seed)
+    elif args.command == "table1-kdistance":
+        rows = run_table1_kdistance(args.sizes, args.ks, queries=args.queries, seed=args.seed)
+    elif args.command == "table1-approx":
+        rows = run_table1_approx(args.sizes, args.epsilons, queries=args.queries, seed=args.seed)
+    elif args.command == "fig1":
+        rows = run_fig1_heavy_paths()
+    elif args.command == "fig2":
+        rows = run_fig2_hm_trees()
+    elif args.command == "fig4":
+        rows = run_fig4_universal_tree(args.max_n)
+    elif args.command == "fig5":
+        rows = run_fig5_regular_trees()
+    elif args.command == "demo":
+        print(_demo(args.family, args.n, args.seed))
+        return 0
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command!r}")
+
+    print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""(1+eps)-approximate distance labeling (Section 5.2, Theorem 1.4 upper bound).
+
+The label of ``v`` stores, per significant ancestor ``v_i`` on its root
+path, the (1+eps/2)-rounded-up distance ``ceil_{1+eps/2}(d(v, v_i))`` as an
+exponent of ``(1 + eps/2)``.  The exponent sequence is non-decreasing, so by
+Lemma 2.2 it occupies ``O(log(1/eps) * log n)`` bits — this replaces the
+unary encoding of Alstrup et al. whose size is ``Theta(1/eps * log n)``.
+
+Query: if one endpoint is an ancestor of the other the answer is exact
+(difference of root distances).  Otherwise the dominating endpoint ``a``
+(the one leaving ``NCA(u, v)`` through a light edge, decided by the
+collapsed-tree postorder numbers) has the NCA as its significant ancestor at
+index ``lightdepth(a) - lightdepth(NCA)``, and
+
+    answer = rd(other) - rd(a) + 2 * ceil_{1+eps/2}(d(a, NCA))
+
+which lies in ``[d(u, v), (1 + eps) d(u, v)]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.base import ApproximateDistanceLabelingScheme
+from repro.encoding.alphabetic import common_codeword_prefix
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.elias import decode_delta, decode_gamma, encode_delta, encode_gamma
+from repro.encoding.monotone import MonotoneSequence
+from repro.nca.labels import LightDepthLabeling
+from repro.trees.collapsed import CollapsedTree
+from repro.trees.heavy_path import HeavyPathDecomposition
+from repro.trees.tree import RootedTree
+
+
+def rounded_exponent(distance: int, base: float) -> int:
+    """Smallest ``e`` with ``base ** e >= distance`` (robust against float error)."""
+    if distance <= 1:
+        return 0
+    exponent = max(0, math.ceil(math.log(distance, base)))
+    while base ** exponent < distance:
+        exponent += 1
+    while exponent > 0 and base ** (exponent - 1) >= distance:
+        exponent -= 1
+    return exponent
+
+
+@dataclass
+class ApproximateLabel:
+    """Label of one node for (1+eps)-approximate queries."""
+
+    preorder: int
+    subtree_size: int
+    root_distance: int
+    domination: int
+    codewords: list[Bits]
+    exponents: list[int]
+
+    @property
+    def light_depth(self) -> int:
+        """Number of light edges on the root path."""
+        return len(self.codewords)
+
+    def is_ancestor_of(self, other: "ApproximateLabel") -> bool:
+        """DFS-interval ancestor test."""
+        return (
+            self.preorder
+            <= other.preorder
+            < self.preorder + self.subtree_size
+        )
+
+    def to_bits(self) -> Bits:
+        """Serialise the label."""
+        writer = BitWriter()
+        encode_delta(writer, self.preorder)
+        encode_delta(writer, self.subtree_size)
+        encode_delta(writer, self.root_distance)
+        encode_delta(writer, self.domination)
+        encode_gamma(writer, len(self.codewords))
+        for word in self.codewords:
+            encode_gamma(writer, len(word))
+            writer.write_bits(word)
+        MonotoneSequence(self.exponents).write(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bits(cls, bits: Bits) -> "ApproximateLabel":
+        """Parse a serialised label."""
+        reader = BitReader(bits)
+        preorder = decode_delta(reader)
+        subtree_size = decode_delta(reader)
+        root_distance = decode_delta(reader)
+        domination = decode_delta(reader)
+        count = decode_gamma(reader)
+        codewords = []
+        for _ in range(count):
+            length = decode_gamma(reader)
+            codewords.append(reader.read_bits(length))
+        exponents = MonotoneSequence.read(reader).to_list()
+        return cls(
+            preorder=preorder,
+            subtree_size=subtree_size,
+            root_distance=root_distance,
+            domination=domination,
+            codewords=codewords,
+            exponents=exponents,
+        )
+
+    def bit_length(self) -> int:
+        """Size of the serialised label in bits."""
+        return len(self.to_bits())
+
+
+class ApproximateScheme(ApproximateDistanceLabelingScheme):
+    """(1+eps)-approximate distance labels of size O(log(1/eps) log n)."""
+
+    name = "approximate"
+
+    def __init__(self, epsilon: float) -> None:
+        super().__init__(epsilon)
+        #: internal rounding base: (1 + eps/2) so the final answer is (1+eps)
+        self.base = 1.0 + epsilon / 2.0
+
+    def encode(self, tree: RootedTree) -> dict[int, ApproximateLabel]:
+        decomposition = HeavyPathDecomposition(tree, variant="paper")
+        collapsed = CollapsedTree(decomposition)
+        light = LightDepthLabeling(tree, collapsed)
+
+        labels: dict[int, ApproximateLabel] = {}
+        for node in tree.nodes():
+            sequence = collapsed.root_path_sequence(node)
+            # significant ancestors above `node`: the branch nodes of the
+            # heavy paths on the root path, from the deepest one upwards
+            exponents: list[int] = []
+            for path in reversed(sequence[1:]):
+                branch = collapsed.branch_node(path)
+                distance = tree.root_distance(node) - tree.root_distance(branch)
+                exponents.append(rounded_exponent(distance, self.base))
+            labels[node] = ApproximateLabel(
+                preorder=tree.preorder_index(node),
+                subtree_size=tree.subtree_size(node),
+                root_distance=tree.root_distance(node),
+                domination=collapsed.domination_number(sequence[-1]),
+                codewords=light.codewords_for(node),
+                exponents=exponents,
+            )
+        return labels
+
+    def approximate_distance(
+        self, label_u: ApproximateLabel, label_v: ApproximateLabel
+    ) -> float:
+        if label_u.preorder == label_v.preorder:
+            return 0.0
+        if label_u.is_ancestor_of(label_v):
+            return float(label_v.root_distance - label_u.root_distance)
+        if label_v.is_ancestor_of(label_u):
+            return float(label_u.root_distance - label_v.root_distance)
+
+        nca_lightdepth = common_codeword_prefix(label_u.codewords, label_v.codewords)
+        if label_u.domination < label_v.domination:
+            dominating, other = label_u, label_v
+        else:
+            dominating, other = label_v, label_u
+        # the dominating endpoint leaves the NCA through a light edge, so the
+        # NCA is its significant ancestor at this index (deepest first)
+        index = dominating.light_depth - nca_lightdepth - 1
+        if index < 0 or index >= len(dominating.exponents):
+            raise ValueError("labels are inconsistent (different encodings?)")
+        approximation = self.base ** dominating.exponents[index]
+        return (
+            other.root_distance - dominating.root_distance + 2.0 * approximation
+        )
+
+    def parse(self, bits: Bits) -> ApproximateLabel:
+        return ApproximateLabel.from_bits(bits)

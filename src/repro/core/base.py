@@ -1,0 +1,138 @@
+"""Common interface of every labeling scheme.
+
+A labeling scheme has two halves:
+
+* an **encoder** that sees the whole tree once and assigns each node a
+  label, and
+* a **decoder** that answers queries from labels alone.
+
+Keeping the decoder free of tree access is the entire point of a labeling
+scheme, so the base class makes the separation explicit: ``encode`` returns
+plain label objects, every label serialises to a bit string through
+``to_bits``/``from_bits``, and ``distance_from_bits`` re-parses the labels
+before answering, proving that no hidden state leaks from the encoder.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol, runtime_checkable
+
+from repro.encoding.bitio import Bits
+from repro.trees.tree import RootedTree
+
+
+@runtime_checkable
+class LabelProtocol(Protocol):
+    """Minimal protocol every label object satisfies."""
+
+    def to_bits(self) -> Bits:
+        """Serialise the label to a self-contained bit string."""
+        ...
+
+    def bit_length(self) -> int:
+        """Size of the serialised label in bits."""
+        ...
+
+
+class DistanceLabelingScheme(ABC):
+    """Base class for exact distance labeling schemes."""
+
+    #: short identifier used by the registry, the CLI and the benchmarks
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode(self, tree: RootedTree) -> dict[int, LabelProtocol]:
+        """Assign a label to every node of ``tree``."""
+
+    @abstractmethod
+    def distance(self, label_u: LabelProtocol, label_v: LabelProtocol) -> int:
+        """Exact distance computed from two labels."""
+
+    @abstractmethod
+    def parse(self, bits: Bits) -> LabelProtocol:
+        """Parse a label from its serialised bits."""
+
+    def distance_from_bits(self, bits_u: Bits, bits_v: Bits) -> int:
+        """Answer a query from serialised labels only."""
+        return self.distance(self.parse(bits_u), self.parse(bits_v))
+
+    # -- measurement helpers ------------------------------------------------
+
+    @staticmethod
+    def label_sizes(labels: dict[int, LabelProtocol]) -> list[int]:
+        """Bit lengths of all labels."""
+        return [label.bit_length() for label in labels.values()]
+
+    @classmethod
+    def max_label_bits(cls, labels: dict[int, LabelProtocol]) -> int:
+        """Maximum label size in bits (the quantity the paper bounds)."""
+        return max(cls.label_sizes(labels))
+
+    @classmethod
+    def average_label_bits(cls, labels: dict[int, LabelProtocol]) -> float:
+        """Average label size in bits."""
+        sizes = cls.label_sizes(labels)
+        return sum(sizes) / len(sizes)
+
+
+class BoundedDistanceLabelingScheme(ABC):
+    """Base class for k-distance schemes (Section 4).
+
+    ``bounded_distance`` returns the exact distance when it is at most ``k``
+    and ``None`` otherwise.
+    """
+
+    name: str = "abstract-bounded"
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+
+    @abstractmethod
+    def encode(self, tree: RootedTree) -> dict[int, LabelProtocol]:
+        """Assign a label to every node of ``tree``."""
+
+    @abstractmethod
+    def bounded_distance(
+        self, label_u: LabelProtocol, label_v: LabelProtocol
+    ) -> int | None:
+        """Distance if it is at most ``k``; ``None`` otherwise."""
+
+    @abstractmethod
+    def parse(self, bits: Bits) -> LabelProtocol:
+        """Parse a label from its serialised bits."""
+
+    def bounded_distance_from_bits(self, bits_u: Bits, bits_v: Bits) -> int | None:
+        """Answer a query from serialised labels only."""
+        return self.bounded_distance(self.parse(bits_u), self.parse(bits_v))
+
+
+class ApproximateDistanceLabelingScheme(ABC):
+    """Base class for (1+eps)-approximate schemes (Section 5)."""
+
+    name: str = "abstract-approx"
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+
+    @abstractmethod
+    def encode(self, tree: RootedTree) -> dict[int, LabelProtocol]:
+        """Assign a label to every node of ``tree``."""
+
+    @abstractmethod
+    def approximate_distance(
+        self, label_u: LabelProtocol, label_v: LabelProtocol
+    ) -> int:
+        """A value in ``[d(u, v), (1 + eps) * d(u, v)]``."""
+
+    @abstractmethod
+    def parse(self, bits: Bits) -> LabelProtocol:
+        """Parse a label from its serialised bits."""
+
+    def approximate_distance_from_bits(self, bits_u: Bits, bits_v: Bits) -> int:
+        """Answer a query from serialised labels only."""
+        return self.approximate_distance(self.parse(bits_u), self.parse(bits_v))

@@ -1,0 +1,119 @@
+"""Heavy-path distance labels with fixed-width fields (Section 3.1 framework).
+
+The label of ``u`` stores, for every heavy path on its root path, the
+preorder number of the path's head (a path identifier) and the weighted root
+distance of the node where ``u``'s path leaves it (its *exit*).  Given two
+labels the decoder finds the deepest common heavy path ``t`` and applies
+
+    rd(NCA(u, v)) = min(exit_u[t], exit_v[t]),
+    d(u, v)       = rd(u) + rd(v) - 2 rd(NCA(u, v)).
+
+Every field is stored with a fixed width of ``ceil(log2 n)`` /
+``ceil(log2 (max distance + 1))`` bits, so the label size is about
+``2 log² n`` — this is the framework of Section 3.1 *before* any of the
+paper's size optimisations, and serves as the reference point in the
+label-size benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import DistanceLabelingScheme
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.elias import decode_gamma, encode_gamma
+from repro.trees.collapsed import CollapsedTree
+from repro.trees.heavy_path import HeavyPathDecomposition
+from repro.trees.tree import RootedTree
+
+
+@dataclass
+class HLDLabel:
+    """Fixed-width heavy-path label."""
+
+    root_distance: int
+    path_ids: list[int]
+    exits: list[int]
+    id_width: int
+    distance_width: int
+
+    def to_bits(self) -> Bits:
+        """Serialise the label."""
+        writer = BitWriter()
+        encode_gamma(writer, self.id_width)
+        encode_gamma(writer, self.distance_width)
+        encode_gamma(writer, len(self.path_ids))
+        writer.write_int(self.root_distance, self.distance_width)
+        for path_id, exit_distance in zip(self.path_ids, self.exits):
+            writer.write_int(path_id, self.id_width)
+            writer.write_int(exit_distance, self.distance_width)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bits(cls, bits: Bits) -> "HLDLabel":
+        """Parse a serialised label."""
+        reader = BitReader(bits)
+        id_width = decode_gamma(reader)
+        distance_width = decode_gamma(reader)
+        count = decode_gamma(reader)
+        root_distance = reader.read_int(distance_width)
+        path_ids, exits = [], []
+        for _ in range(count):
+            path_ids.append(reader.read_int(id_width))
+            exits.append(reader.read_int(distance_width))
+        return cls(root_distance, path_ids, exits, id_width, distance_width)
+
+    def bit_length(self) -> int:
+        """Size of the serialised label in bits."""
+        return len(self.to_bits())
+
+
+class HLDScheme(DistanceLabelingScheme):
+    """Fixed-width heavy-path labels (the unoptimised Section 3.1 framework)."""
+
+    name = "hld-fixed"
+
+    def __init__(self, variant: str = "paper") -> None:
+        self._variant = variant
+
+    def encode(self, tree: RootedTree) -> dict[int, HLDLabel]:
+        decomposition = HeavyPathDecomposition(tree, variant=self._variant)
+        collapsed = CollapsedTree(decomposition)
+        id_width = max(1, (tree.n - 1).bit_length())
+        max_distance = max(tree.root_distance(v) for v in tree.nodes())
+        distance_width = max(1, max_distance.bit_length())
+
+        labels: dict[int, HLDLabel] = {}
+        for node in tree.nodes():
+            sequence = collapsed.root_path_sequence(node)
+            path_ids: list[int] = []
+            exits: list[int] = []
+            for index, path in enumerate(sequence):
+                path_ids.append(tree.preorder_index(collapsed.head(path)))
+                if index + 1 < len(sequence):
+                    branch = collapsed.branch_node(sequence[index + 1])
+                    exits.append(tree.root_distance(branch))
+                else:
+                    exits.append(tree.root_distance(node))
+            labels[node] = HLDLabel(
+                root_distance=tree.root_distance(node),
+                path_ids=path_ids,
+                exits=exits,
+                id_width=id_width,
+                distance_width=distance_width,
+            )
+        return labels
+
+    def distance(self, label_u: HLDLabel, label_v: HLDLabel) -> int:
+        deepest_common = -1
+        for index, (a, b) in enumerate(zip(label_u.path_ids, label_v.path_ids)):
+            if a != b:
+                break
+            deepest_common = index
+        if deepest_common < 0:
+            raise ValueError("labels do not come from the same tree")
+        nca_distance = min(label_u.exits[deepest_common], label_v.exits[deepest_common])
+        return label_u.root_distance + label_v.root_distance - 2 * nca_distance
+
+    def parse(self, bits: Bits) -> HLDLabel:
+        return HLDLabel.from_bits(bits)

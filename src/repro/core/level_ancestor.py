@@ -1,0 +1,162 @@
+"""Level-ancestor / parent labeling (Section 3.6).
+
+The paper proves (Theorem 1.2) that level-ancestor labels cannot be shorter
+than ~1/2 log² n bits, and notes that the Alstrup et al. distance labels can
+be turned into a level-ancestor scheme: every label stores, per heavy path
+on its root path, how far along the path to walk and which light edge to
+take next, so the parent's label is obtained by decrementing the last offset
+or dropping the last (codeword, offset) pair.
+
+:class:`LevelAncestorScheme` implements exactly that hierarchical label.
+Labels are distinct by construction (the hierarchical description identifies
+the node), parent queries use a *single* label, and ``level_ancestor`` walks
+up by repeated parent queries.  The universal-tree construction of
+Lemma 3.6 (:mod:`repro.universal`) consumes this scheme.
+
+The scheme is defined for unweighted (unit edge weight) trees, matching the
+paper's setting for level ancestors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.elias import decode_delta, decode_gamma, encode_delta, encode_gamma
+from repro.nca.labels import LightDepthLabeling
+from repro.trees.collapsed import CollapsedTree
+from repro.trees.heavy_path import HeavyPathDecomposition
+from repro.trees.tree import RootedTree
+
+
+@dataclass(frozen=True)
+class LevelAncestorLabel:
+    """Hierarchical position description: offsets along heavy paths and
+    codewords of the light edges taken between them."""
+
+    depth: int
+    codewords: tuple[str, ...]
+    offsets: tuple[int, ...]
+
+    @property
+    def light_depth(self) -> int:
+        """Number of light edges on the root path."""
+        return len(self.codewords)
+
+    def is_root(self) -> bool:
+        """Whether this label describes the root."""
+        return self.depth == 0
+
+    def key(self) -> tuple:
+        """Hashable identity (labels are unique per node)."""
+        return (self.codewords, self.offsets)
+
+    def to_bits(self) -> Bits:
+        """Serialise the label."""
+        writer = BitWriter()
+        encode_delta(writer, self.depth)
+        encode_gamma(writer, len(self.codewords))
+        for word in self.codewords:
+            encode_gamma(writer, len(word))
+            writer.write_bits(word)
+        for offset in self.offsets:
+            encode_delta(writer, offset)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bits(cls, bits: Bits) -> "LevelAncestorLabel":
+        """Parse a serialised label."""
+        reader = BitReader(bits)
+        depth = decode_delta(reader)
+        count = decode_gamma(reader)
+        codewords = []
+        for _ in range(count):
+            length = decode_gamma(reader)
+            codewords.append(reader.read_bits(length).data)
+        offsets = tuple(decode_delta(reader) for _ in range(count + 1))
+        return cls(depth, tuple(codewords), offsets)
+
+    def bit_length(self) -> int:
+        """Size of the serialised label in bits."""
+        return len(self.to_bits())
+
+
+class LevelAncestorScheme:
+    """Parent / level-ancestor labels in the Section 3.6 style."""
+
+    name = "level-ancestor"
+
+    def encode(self, tree: RootedTree) -> dict[int, LevelAncestorLabel]:
+        """Assign a hierarchical label to every node of a unit-weight tree."""
+        if not tree.is_unit_weighted():
+            raise ValueError("LevelAncestorScheme expects a unit-weight tree")
+        decomposition = HeavyPathDecomposition(tree, variant="paper")
+        collapsed = CollapsedTree(decomposition)
+        light = LightDepthLabeling(tree, collapsed)
+
+        labels: dict[int, LevelAncestorLabel] = {}
+        for node in tree.nodes():
+            sequence = collapsed.root_path_sequence(node)
+            codewords = tuple(word.data for word in light.codewords_for(node))
+            offsets: list[int] = []
+            for index, path in enumerate(sequence):
+                head = collapsed.head(path)
+                if index + 1 < len(sequence):
+                    branch = collapsed.branch_node(sequence[index + 1])
+                    offsets.append(tree.depth(branch) - tree.depth(head))
+                else:
+                    offsets.append(tree.depth(node) - tree.depth(head))
+            labels[node] = LevelAncestorLabel(
+                depth=tree.depth(node),
+                codewords=codewords,
+                offsets=tuple(offsets),
+            )
+        return labels
+
+    # -- queries (labels only) ----------------------------------------------
+
+    @staticmethod
+    def parent(label: LevelAncestorLabel) -> LevelAncestorLabel | None:
+        """Label of the parent, or ``None`` for the root."""
+        if label.is_root():
+            return None
+        offsets = list(label.offsets)
+        if offsets[-1] > 0:
+            offsets[-1] -= 1
+            return LevelAncestorLabel(label.depth - 1, label.codewords, tuple(offsets))
+        # the node is the head of its heavy path: drop the last level; the
+        # parent is the branch node on the previous path, whose offset is
+        # already the last remaining entry
+        return LevelAncestorLabel(
+            label.depth - 1, label.codewords[:-1], tuple(offsets[:-1])
+        )
+
+    @classmethod
+    def level_ancestor(
+        cls, label: LevelAncestorLabel, steps: int
+    ) -> LevelAncestorLabel | None:
+        """Label of the ancestor ``steps`` edges above, or ``None`` if absent."""
+        current: LevelAncestorLabel | None = label
+        for _ in range(steps):
+            if current is None:
+                return None
+            current = cls.parent(current)
+        return current
+
+    @staticmethod
+    def ancestor_at_depth(
+        label: LevelAncestorLabel, depth: int
+    ) -> LevelAncestorLabel | None:
+        """Label of the ancestor at absolute ``depth`` (None if below the node)."""
+        if depth > label.depth:
+            return None
+        return LevelAncestorScheme.level_ancestor(label, label.depth - depth)
+
+    def parse(self, bits: Bits) -> LevelAncestorLabel:
+        """Parse a label from its serialised bits."""
+        return LevelAncestorLabel.from_bits(bits)
+
+    @staticmethod
+    def max_label_bits(labels: dict[int, LevelAncestorLabel]) -> int:
+        """Maximum label size in bits."""
+        return max(label.bit_length() for label in labels.values())

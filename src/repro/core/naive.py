@@ -1,0 +1,82 @@
+"""Folklore baseline: store the whole root path.
+
+The label of ``u`` lists every ancestor of ``u`` together with its weighted
+root distance.  The decoder intersects the two ancestor lists and applies
+``d(u, v) = rd(u) + rd(v) - 2 rd(NCA)``.
+
+Label size is Θ(depth(u) · log n) bits — linear for paths — which is exactly
+why the paper's heavy-path machinery exists.  The scheme is kept as the
+simplest possible correctness reference and as the degenerate point of the
+label-size benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import DistanceLabelingScheme
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.elias import decode_delta, decode_gamma, encode_delta, encode_gamma
+from repro.trees.tree import RootedTree
+
+
+@dataclass
+class NaiveLabel:
+    """Ancestor list with root distances, deepest first."""
+
+    ancestors: list[int]
+    distances: list[int]
+
+    def to_bits(self) -> Bits:
+        """Serialise the label."""
+        writer = BitWriter()
+        encode_gamma(writer, len(self.ancestors))
+        for node, distance in zip(self.ancestors, self.distances):
+            encode_delta(writer, node)
+            encode_delta(writer, distance)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bits(cls, bits: Bits) -> "NaiveLabel":
+        """Parse a serialised label."""
+        reader = BitReader(bits)
+        count = decode_gamma(reader)
+        ancestors, distances = [], []
+        for _ in range(count):
+            ancestors.append(decode_delta(reader))
+            distances.append(decode_delta(reader))
+        return cls(ancestors, distances)
+
+    def bit_length(self) -> int:
+        """Size of the serialised label in bits."""
+        return len(self.to_bits())
+
+
+class NaiveListScheme(DistanceLabelingScheme):
+    """Store the full ancestor list in every label."""
+
+    name = "naive-list"
+
+    def encode(self, tree: RootedTree) -> dict[int, NaiveLabel]:
+        labels = {}
+        for node in tree.nodes():
+            path = tree.path_to_root(node)
+            labels[node] = NaiveLabel(
+                ancestors=path,
+                distances=[tree.root_distance(v) for v in path],
+            )
+        return labels
+
+    def distance(self, label_u: NaiveLabel, label_v: NaiveLabel) -> int:
+        ancestors_v = set(label_v.ancestors)
+        nca_distance = None
+        for node, distance in zip(label_u.ancestors, label_u.distances):
+            if node in ancestors_v:
+                nca_distance = distance
+                break
+        if nca_distance is None:
+            raise ValueError("labels do not come from the same tree")
+        return label_u.distances[0] + label_v.distances[0] - 2 * nca_distance
+
+    def parse(self, bits: Bits) -> NaiveLabel:
+        return NaiveLabel.from_bits(bits)

@@ -1,0 +1,31 @@
+"""Registry of labeling schemes, used by the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.alstrup import AlstrupScheme
+from repro.core.base import DistanceLabelingScheme
+from repro.core.freedman import FreedmanScheme
+from repro.core.hld import HLDScheme
+from repro.core.naive import NaiveListScheme
+from repro.core.separator import SeparatorScheme
+
+#: exact distance labeling schemes, keyed by name
+SCHEMES: dict[str, Callable[[], DistanceLabelingScheme]] = {
+    NaiveListScheme.name: NaiveListScheme,
+    SeparatorScheme.name: SeparatorScheme,
+    HLDScheme.name: HLDScheme,
+    AlstrupScheme.name: AlstrupScheme,
+    FreedmanScheme.name: FreedmanScheme,
+    "freedman-no-fragments": lambda: FreedmanScheme(use_fragments=False),
+    "freedman-no-accumulators": lambda: FreedmanScheme(use_accumulators=False),
+    "freedman-no-binarize": lambda: FreedmanScheme(binarize=False),
+}
+
+
+def make_scheme(name: str) -> DistanceLabelingScheme:
+    """Instantiate an exact scheme by registry name."""
+    if name not in SCHEMES:
+        raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEMES)}")
+    return SCHEMES[name]()

@@ -1,0 +1,44 @@
+"""Bit-level encoding substrate used by every labeling scheme.
+
+The paper stores labels as short bit strings built from a handful of
+primitives (Section 2, "Encoding integers"):
+
+* self-delimiting integer codes (Elias gamma / delta),
+* the monotone-sequence encoder of Lemma 2.2 with constant-time access,
+  successor and longest-common-suffix operations,
+* size-weighted prefix-free codes for identifying light children along a
+  root-to-node path in the collapsed tree ("light codes").
+
+This package provides those primitives on top of an explicit
+:class:`~repro.encoding.bitio.BitWriter` / :class:`~repro.encoding.bitio.BitReader`
+pair so that every label in the library is an honest, measurable bit string.
+"""
+
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.elias import (
+    decode_delta,
+    decode_gamma,
+    encode_delta,
+    encode_gamma,
+    gamma_length,
+    delta_length,
+)
+from repro.encoding.varint import decode_unary, encode_unary
+from repro.encoding.monotone import MonotoneSequence
+from repro.encoding.alphabetic import SizeWeightedCode
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Bits",
+    "encode_gamma",
+    "decode_gamma",
+    "encode_delta",
+    "decode_delta",
+    "gamma_length",
+    "delta_length",
+    "encode_unary",
+    "decode_unary",
+    "MonotoneSequence",
+    "SizeWeightedCode",
+]

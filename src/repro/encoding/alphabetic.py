@@ -1,0 +1,94 @@
+"""Size-weighted prefix-free codes ("light codes").
+
+Distance labels need an identifier of the root-to-node path in the collapsed
+tree whose *total* length is O(log n) bits even though the path may take
+Θ(log n) light edges.  The classical trick (used by the O(log n)-bit NCA
+labels of Alstrup, Halvorsen and Larsen that the paper invokes as Lemma 2.1)
+is to give the ``i``-th light child of a collapsed node a prefix-free
+codeword of length about ``log(parent size / child size) + O(1)``.  Summed
+along a root-to-node path the sizes telescope, so the concatenation of
+codewords is O(log n) bits.
+
+:class:`SizeWeightedCode` assigns such codewords for one node's children;
+:func:`path_identifier` concatenates them along a path.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.bitio import Bits
+
+
+class SizeWeightedCode:
+    """Prefix-free codewords for children weighted by subtree size.
+
+    Child ``i`` with weight ``w_i`` out of total ``W`` receives a codeword of
+    length ``ceil(log2(W / w_i)) + 1`` bits.  The Kraft sum is at most 1/2,
+    so a canonical assignment always exists.
+    """
+
+    def __init__(self, weights: list[int]) -> None:
+        if not weights:
+            self._codewords: list[Bits] = []
+            return
+        if any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive")
+        total = sum(weights)
+        lengths = [max(1, (total + w - 1) // w - 1).bit_length() + 1 for w in weights]
+        # canonical code assignment: process in order of increasing length
+        order = sorted(range(len(weights)), key=lambda i: (lengths[i], i))
+        codewords: list[Bits | None] = [None] * len(weights)
+        code = 0
+        previous_length = lengths[order[0]]
+        for position, index in enumerate(order):
+            length = lengths[index]
+            if position > 0:
+                code = (code + 1) << (length - previous_length)
+            if code >= (1 << length):
+                raise ValueError("Kraft inequality violated; weights inconsistent")
+            codewords[index] = Bits.from_int(code, length)
+            previous_length = length
+        self._codewords = [cw for cw in codewords if cw is not None]
+
+    def __len__(self) -> int:
+        return len(self._codewords)
+
+    def codeword(self, index: int) -> Bits:
+        """Codeword of the ``index``-th child."""
+        return self._codewords[index]
+
+    @property
+    def codewords(self) -> list[Bits]:
+        """All codewords, in child order."""
+        return list(self._codewords)
+
+    def total_length(self, index: int) -> int:
+        """Length in bits of the ``index``-th codeword."""
+        return len(self._codewords[index])
+
+
+def codeword_length_bound(total: int, weight: int) -> int:
+    """Upper bound on the codeword length used for a child of ``weight``."""
+    return max(1, (total + weight - 1) // weight - 1).bit_length() + 1
+
+
+def path_identifier(codewords: list[Bits]) -> Bits:
+    """Concatenate per-level codewords into a single path identifier."""
+    out = Bits("")
+    for word in codewords:
+        out = out + word
+    return out
+
+
+def common_codeword_prefix(path_a: list[Bits], path_b: list[Bits]) -> int:
+    """Number of leading codewords shared by two per-level codeword lists.
+
+    Because the code used at a given collapsed node is deterministic, two
+    nodes share the first ``t`` codewords exactly when their root paths in
+    the collapsed tree share the first ``t`` light edges.
+    """
+    count = 0
+    for word_a, word_b in zip(path_a, path_b):
+        if word_a != word_b:
+            break
+        count += 1
+    return count

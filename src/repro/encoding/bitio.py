@@ -1,0 +1,158 @@
+"""Bit-oriented readers and writers.
+
+Labels in this library are plain Python strings of ``'0'``/``'1'`` characters
+wrapped in the small :class:`Bits` value type.  A character-per-bit
+representation is deliberately simple: the library's goal is to *measure*
+label sizes and to make the decoding logic transparent, not to squeeze the
+last nanosecond out of CPython.  All size accounting (``len(bits)``) is exact
+in bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class BitError(ValueError):
+    """Raised when a bit stream is malformed or exhausted."""
+
+
+@dataclass(frozen=True)
+class Bits:
+    """An immutable bit string.
+
+    ``Bits`` behaves like a very small value object: it supports length,
+    equality, concatenation, slicing and conversion to and from integers.
+    """
+
+    data: str = ""
+
+    def __post_init__(self) -> None:
+        if self.data and set(self.data) - {"0", "1"}:
+            raise BitError(f"invalid characters in bit string: {self.data!r}")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self):
+        return iter(self.data)
+
+    def __getitem__(self, item) -> "Bits":
+        if isinstance(item, slice):
+            return Bits(self.data[item])
+        return Bits(self.data[item])
+
+    def __add__(self, other: "Bits") -> "Bits":
+        return Bits(self.data + other.data)
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    def to_int(self) -> int:
+        """Interpret the bits as a big-endian binary number (empty -> 0)."""
+        return int(self.data, 2) if self.data else 0
+
+    @staticmethod
+    def from_int(value: int, width: int | None = None) -> "Bits":
+        """Encode ``value`` in binary, optionally zero-padded to ``width`` bits."""
+        if value < 0:
+            raise BitError("Bits.from_int expects a non-negative integer")
+        if width is None:
+            return Bits(bin(value)[2:] if value else "")
+        if width < 0:
+            raise BitError("width must be non-negative")
+        if value >= (1 << width) and width > 0:
+            raise BitError(f"value {value} does not fit in {width} bits")
+        if width == 0:
+            if value:
+                raise BitError(f"value {value} does not fit in 0 bits")
+            return Bits("")
+        return Bits(format(value, f"0{width}b"))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return self.data
+
+
+class BitWriter:
+    """Accumulates bits and produces a :class:`Bits` value."""
+
+    def __init__(self) -> None:
+        self._chunks: list[str] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise BitError(f"bit must be 0 or 1, got {bit!r}")
+        self._chunks.append("1" if bit else "0")
+        self._length += 1
+
+    def write_bits(self, bits: Bits | str) -> None:
+        """Append an existing bit string."""
+        data = bits.data if isinstance(bits, Bits) else bits
+        if data and set(data) - {"0", "1"}:
+            raise BitError(f"invalid characters in bit string: {data!r}")
+        self._chunks.append(data)
+        self._length += len(data)
+
+    def write_int(self, value: int, width: int) -> None:
+        """Append ``value`` as a fixed-width big-endian binary number."""
+        self.write_bits(Bits.from_int(value, width))
+
+    def getvalue(self) -> Bits:
+        """Return everything written so far as a single :class:`Bits`."""
+        return Bits("".join(self._chunks))
+
+
+class BitReader:
+    """Sequential reader over a :class:`Bits` value."""
+
+    def __init__(self, bits: Bits | str) -> None:
+        self._data = bits.data if isinstance(bits, Bits) else bits
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read offset in bits."""
+        return self._pos
+
+    def seek(self, position: int) -> None:
+        """Move the read cursor to an absolute bit offset."""
+        if not 0 <= position <= len(self._data):
+            raise BitError(f"seek position {position} out of range")
+        self._pos = position
+
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return len(self._data) - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        if self._pos >= len(self._data):
+            raise BitError("bit stream exhausted")
+        bit = 1 if self._data[self._pos] == "1" else 0
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> Bits:
+        """Read ``count`` bits as a :class:`Bits` value."""
+        if count < 0:
+            raise BitError("count must be non-negative")
+        if self._pos + count > len(self._data):
+            raise BitError("bit stream exhausted")
+        out = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return Bits(out)
+
+    def read_int(self, width: int) -> int:
+        """Read a fixed-width big-endian binary number."""
+        return self.read_bits(width).to_int()
+
+    def peek_bit(self) -> int:
+        """Look at the next bit without consuming it."""
+        if self._pos >= len(self._data):
+            raise BitError("bit stream exhausted")
+        return 1 if self._data[self._pos] == "1" else 0

@@ -1,0 +1,82 @@
+"""Elias gamma and delta codes (Elias 1975).
+
+The paper uses Elias delta codes to make individual label fields
+self-delimiting ("Encoding integers", Section 2): a non-negative integer
+``x`` is stored using ``log x + O(log log x)`` bits, and the end of the code
+is detectable without knowing its length in advance.
+
+Both codes here encode *non-negative* integers by internally shifting by one
+(classic Elias codes are defined for positive integers only).
+"""
+
+from __future__ import annotations
+
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+
+
+def encode_gamma(writer: BitWriter, value: int) -> None:
+    """Append the Elias gamma code of ``value`` (``value >= 0``)."""
+    if value < 0:
+        raise ValueError("Elias gamma encodes non-negative integers only")
+    shifted = value + 1
+    width = shifted.bit_length()
+    writer.write_bits("0" * (width - 1))
+    writer.write_int(shifted, width)
+
+
+def decode_gamma(reader: BitReader) -> int:
+    """Read one Elias gamma code and return the encoded value."""
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+    rest = reader.read_int(zeros) if zeros else 0
+    return ((1 << zeros) | rest) - 1
+
+
+def gamma_length(value: int) -> int:
+    """Number of bits :func:`encode_gamma` uses for ``value``."""
+    if value < 0:
+        raise ValueError("Elias gamma encodes non-negative integers only")
+    return 2 * (value + 1).bit_length() - 1
+
+
+def encode_delta(writer: BitWriter, value: int) -> None:
+    """Append the Elias delta code of ``value`` (``value >= 0``)."""
+    if value < 0:
+        raise ValueError("Elias delta encodes non-negative integers only")
+    shifted = value + 1
+    width = shifted.bit_length()
+    encode_gamma(writer, width - 1)
+    if width > 1:
+        writer.write_int(shifted - (1 << (width - 1)), width - 1)
+
+
+def decode_delta(reader: BitReader) -> int:
+    """Read one Elias delta code and return the encoded value."""
+    width = decode_gamma(reader) + 1
+    if width == 1:
+        return 0
+    rest = reader.read_int(width - 1)
+    return ((1 << (width - 1)) | rest) - 1
+
+
+def delta_length(value: int) -> int:
+    """Number of bits :func:`encode_delta` uses for ``value``."""
+    if value < 0:
+        raise ValueError("Elias delta encodes non-negative integers only")
+    width = (value + 1).bit_length()
+    return gamma_length(width - 1) + (width - 1)
+
+
+def encode_gamma_bits(value: int) -> Bits:
+    """Return the Elias gamma code of ``value`` as a :class:`Bits`."""
+    writer = BitWriter()
+    encode_gamma(writer, value)
+    return writer.getvalue()
+
+
+def encode_delta_bits(value: int) -> Bits:
+    """Return the Elias delta code of ``value`` as a :class:`Bits`."""
+    writer = BitWriter()
+    encode_delta(writer, value)
+    return writer.getvalue()

@@ -1,0 +1,196 @@
+"""Monotone sequence encoding (Lemma 2.2).
+
+A non-decreasing sequence of ``s`` integers from ``[0, M]`` is stored in
+``O(s * max(1, log(M/s)))`` bits by splitting every value into a low part
+(fixed width) and a high part (encoded as unary differences, one ``1`` per
+element).  The encoding supports
+
+1. random access to the ``k``-th element,
+2. successor queries (position of the first element ``>= x``),
+3. longest common suffix of two specified prefixes,
+
+exactly the three operations the paper's labels need (distance arrays,
+significant-ancestor height sequences, 2-approximation tables).
+
+The encoding is self-delimiting so that it can be embedded inside a larger
+label and parsed back without knowing its length in advance.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.elias import decode_gamma, encode_gamma
+from repro.succinct.bitvector import BitVector
+from repro.succinct.predecessor import PredecessorStructure
+
+
+class MonotoneSequence:
+    """A static, bit-packed, non-decreasing integer sequence."""
+
+    def __init__(self, values: list[int]) -> None:
+        if any(b < a for a, b in zip(values, values[1:])):
+            raise ValueError("MonotoneSequence requires a non-decreasing sequence")
+        if any(v < 0 for v in values):
+            raise ValueError("MonotoneSequence requires non-negative values")
+        self._values = list(values)
+        self._bits = self._encode(self._values)
+        self._predecessor = PredecessorStructure(self._values)
+
+    # -- encoding ------------------------------------------------------
+
+    @staticmethod
+    def _low_width(values: list[int]) -> int:
+        if not values:
+            return 0
+        maximum = values[-1]
+        count = len(values)
+        return max(0, maximum.bit_length() - count.bit_length())
+
+    @classmethod
+    def _encode(cls, values: list[int]) -> Bits:
+        writer = BitWriter()
+        encode_gamma(writer, len(values))
+        if not values:
+            return writer.getvalue()
+        low_width = cls._low_width(values)
+        encode_gamma(writer, low_width)
+        mask = (1 << low_width) - 1
+        for value in values:
+            if low_width:
+                writer.write_int(value & mask, low_width)
+        previous_high = 0
+        for value in values:
+            high = value >> low_width
+            writer.write_bits("0" * (high - previous_high) + "1")
+            previous_high = high
+        return writer.getvalue()
+
+    @property
+    def bits(self) -> Bits:
+        """The self-delimiting encoding of the sequence."""
+        return self._bits
+
+    def bit_length(self) -> int:
+        """Size of the encoding in bits."""
+        return len(self._bits)
+
+    def write(self, writer: BitWriter) -> None:
+        """Append the encoding to an existing writer."""
+        writer.write_bits(self._bits)
+
+    @classmethod
+    def read(cls, reader: BitReader) -> "MonotoneSequence":
+        """Parse an encoding produced by :meth:`write` / :attr:`bits`."""
+        count = decode_gamma(reader)
+        if count == 0:
+            return cls([])
+        low_width = decode_gamma(reader)
+        lows = [reader.read_int(low_width) if low_width else 0 for _ in range(count)]
+        values: list[int] = []
+        high = 0
+        for index in range(count):
+            while reader.read_bit() == 0:
+                high += 1
+            values.append((high << low_width) | lows[index])
+        return cls(values)
+
+    @classmethod
+    def from_bits(cls, bits: Bits) -> "MonotoneSequence":
+        """Parse a standalone encoding."""
+        return cls.read(BitReader(bits))
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> int:
+        """Operation (1) of Lemma 2.2: random access."""
+        return self._values[index]
+
+    def to_list(self) -> list[int]:
+        """The decoded sequence as a plain list."""
+        return list(self._values)
+
+    def successor_position(self, query: int) -> int | None:
+        """Operation (2) of Lemma 2.2.
+
+        Return the index of the first element ``>= query`` or ``None`` when
+        every element is smaller.
+        """
+        value = self._predecessor.successor(query)
+        if value is None:
+            return None
+        # first occurrence of the successor value
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def common_suffix_of_prefixes(
+        self, other: "MonotoneSequence", self_prefix: int, other_prefix: int
+    ) -> int:
+        """Operation (3) of Lemma 2.2.
+
+        Length of the longest common suffix of ``self[:self_prefix]`` and
+        ``other[:other_prefix]``.
+        """
+        if not 0 <= self_prefix <= len(self._values):
+            raise IndexError("self_prefix out of range")
+        if not 0 <= other_prefix <= len(other._values):
+            raise IndexError("other_prefix out of range")
+        length = 0
+        i = self_prefix - 1
+        j = other_prefix - 1
+        while i >= 0 and j >= 0 and self._values[i] == other._values[j]:
+            length += 1
+            i -= 1
+            j -= 1
+        return length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MonotoneSequence):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MonotoneSequence({self._values!r})"
+
+
+class UnaryBitVectorView:
+    """Rank/select view over the high-part bit vector of a sequence.
+
+    This mirrors how Lemma 2.2's proof recovers the quotients ``y_i`` with a
+    select structure: the position of the ``i``-th one, minus ``i``, equals
+    ``y_i``.  It is exposed separately so tests can exercise the structure
+    the proof describes.
+    """
+
+    def __init__(self, values: list[int], low_width: int | None = None) -> None:
+        if low_width is None:
+            low_width = MonotoneSequence._low_width(sorted(values))
+        self._low_width = low_width
+        writer = BitWriter()
+        previous_high = 0
+        for value in values:
+            high = value >> low_width
+            writer.write_bits("0" * (high - previous_high) + "1")
+            previous_high = high
+        self._vector = BitVector(writer.getvalue())
+
+    @property
+    def vector(self) -> BitVector:
+        """The underlying bit vector."""
+        return self._vector
+
+    def high_value(self, index: int) -> int:
+        """Recover ``values[index] >> low_width`` via select."""
+        position = self._vector.select1(index + 1)
+        return position - index

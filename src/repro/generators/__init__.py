@@ -1,0 +1,50 @@
+"""Workload generators: tree families and query workloads.
+
+The benchmark harness sweeps the labeling schemes over the same kinds of
+trees the paper's analysis cares about: uniformly random trees, random
+binary trees, paths and caterpillars (deep heavy paths), stars and brooms
+(huge fan-out), spiders, balanced binary trees, plus the adversarial
+lower-bound families from :mod:`repro.lowerbounds`.
+"""
+
+from repro.generators.random_trees import (
+    random_binary_tree,
+    random_caterpillar,
+    random_prufer_tree,
+    random_recursive_tree,
+)
+from repro.generators.structured import (
+    balanced_binary_tree,
+    broom_tree,
+    caterpillar_tree,
+    comb_tree,
+    path_tree,
+    spider_tree,
+    star_tree,
+)
+from repro.generators.workloads import (
+    all_pairs,
+    random_pairs,
+    near_pairs,
+    FAMILIES,
+    make_tree,
+)
+
+__all__ = [
+    "random_prufer_tree",
+    "random_binary_tree",
+    "random_recursive_tree",
+    "random_caterpillar",
+    "path_tree",
+    "star_tree",
+    "caterpillar_tree",
+    "balanced_binary_tree",
+    "broom_tree",
+    "spider_tree",
+    "comb_tree",
+    "random_pairs",
+    "all_pairs",
+    "near_pairs",
+    "FAMILIES",
+    "make_tree",
+]

@@ -1,0 +1,96 @@
+"""Query workloads and the named tree-family registry used by benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.generators.random_trees import (
+    random_binary_tree,
+    random_caterpillar,
+    random_prufer_tree,
+    random_recursive_tree,
+)
+from repro.generators.structured import (
+    balanced_binary_tree,
+    broom_tree,
+    caterpillar_tree,
+    path_tree,
+    spider_tree,
+    star_tree,
+)
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.trees.tree import RootedTree
+
+# Registry of named tree families: name -> generator(n, seed)
+FAMILIES: dict[str, Callable[[int, int], RootedTree]] = {
+    "random": lambda n, seed: random_prufer_tree(n, seed),
+    "random_binary": lambda n, seed: random_binary_tree(n, seed),
+    "random_recursive": lambda n, seed: random_recursive_tree(n, seed),
+    "random_caterpillar": lambda n, seed: random_caterpillar(n, seed),
+    "path": lambda n, seed: path_tree(n),
+    "star": lambda n, seed: star_tree(n),
+    "caterpillar": lambda n, seed: caterpillar_tree(n),
+    "balanced_binary": lambda n, seed: balanced_binary_tree(n),
+    "broom": lambda n, seed: broom_tree(n),
+    "spider": lambda n, seed: spider_tree(n, legs=5),
+}
+
+
+def make_tree(family: str, n: int, seed: int = 0) -> RootedTree:
+    """Build a named tree family member."""
+    if family not in FAMILIES:
+        raise KeyError(f"unknown tree family {family!r}; known: {sorted(FAMILIES)}")
+    return FAMILIES[family](n, seed)
+
+
+def random_pairs(
+    tree: RootedTree, count: int, seed: int | random.Random | None = 0
+) -> list[tuple[int, int]]:
+    """Uniformly random query pairs (may include equal endpoints)."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = tree.n
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+def all_pairs(tree: RootedTree) -> list[tuple[int, int]]:
+    """Every ordered pair (small trees only)."""
+    return [(u, v) for u in tree.nodes() for v in tree.nodes()]
+
+
+def near_pairs(
+    tree: RootedTree,
+    count: int,
+    max_distance: int,
+    seed: int | random.Random | None = 0,
+) -> list[tuple[int, int]]:
+    """Query pairs biased towards distance at most ``max_distance``.
+
+    Used by the k-distance benchmarks, where uniformly random pairs are
+    almost always further apart than k.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    oracle = TreeDistanceOracle(tree)
+    pairs: list[tuple[int, int]] = []
+    nodes = list(tree.nodes())
+    attempts = 0
+    while len(pairs) < count and attempts < 50 * count:
+        attempts += 1
+        u = rng.choice(nodes)
+        # walk a bounded random walk from u to find a nearby partner
+        v = u
+        for _ in range(rng.randint(0, max_distance)):
+            neighbours = list(tree.children(v))
+            parent = tree.parent(v)
+            if parent is not None:
+                neighbours.append(parent)
+            if not neighbours:
+                break
+            v = rng.choice(neighbours)
+        pairs.append((u, v))
+    # top up with uniform pairs if the walk-based sampling fell short
+    while len(pairs) < count:
+        pairs.append((rng.randrange(tree.n), rng.randrange(tree.n)))
+    # keep the oracle warm so callers can reuse it for expected answers
+    _ = oracle
+    return pairs

@@ -1,0 +1,70 @@
+"""Lower-bound instance families and the summary-table bound formulas.
+
+Lower bounds cannot be "run", but their instance families can be built and
+measured.  This package provides:
+
+* :mod:`repro.lowerbounds.hm_trees` — the weighted ``(h, M)``-trees of
+  Gavoille et al. (Fig. 2) used for the exact and large-k lower bounds,
+  together with the subdivision into unweighted trees,
+* :mod:`repro.lowerbounds.regular_trees` — the ``(x, h, d)``-regular trees
+  of Section 4.1 (Fig. 5) used for the small-k lower bound, including the
+  Lemma 4.1 counting machinery,
+* :mod:`repro.lowerbounds.stretched_trees` — the Section 5.1 stretching of
+  ``(h, M)``-trees that reduces exact distances to (1+eps)-approximate ones,
+* :mod:`repro.lowerbounds.bounds` — closed-form versions of every row of the
+  paper's summary table, used as reference curves by the benchmarks.
+"""
+
+from repro.lowerbounds.bounds import (
+    approx_bound_bits,
+    exact_lower_bound_bits,
+    exact_upper_bound_bits,
+    kdistance_large_bound_bits,
+    kdistance_small_lower_bound_bits,
+    kdistance_small_upper_bound_bits,
+    universal_tree_scheme_lower_bound_bits,
+)
+from repro.lowerbounds.hm_trees import (
+    HMTree,
+    build_hm_tree,
+    hm_parameter_count,
+    hm_tree_size,
+    lemma_2_3_bound_bits,
+    random_hm_parameters,
+    subdivide_to_unweighted,
+)
+from repro.lowerbounds.regular_trees import (
+    build_regular_tree,
+    common_labels_upper_bound,
+    lemma_4_1_total_bound,
+    regular_tree_leaf_count,
+)
+from repro.lowerbounds.stretched_trees import (
+    build_stretched_hm_tree,
+    stretched_distance,
+    stretched_intervals_disjoint,
+)
+
+__all__ = [
+    "HMTree",
+    "build_hm_tree",
+    "subdivide_to_unweighted",
+    "hm_tree_size",
+    "hm_parameter_count",
+    "random_hm_parameters",
+    "lemma_2_3_bound_bits",
+    "build_regular_tree",
+    "regular_tree_leaf_count",
+    "common_labels_upper_bound",
+    "lemma_4_1_total_bound",
+    "build_stretched_hm_tree",
+    "stretched_distance",
+    "stretched_intervals_disjoint",
+    "exact_upper_bound_bits",
+    "exact_lower_bound_bits",
+    "approx_bound_bits",
+    "kdistance_small_upper_bound_bits",
+    "kdistance_small_lower_bound_bits",
+    "kdistance_large_bound_bits",
+    "universal_tree_scheme_lower_bound_bits",
+]

@@ -1,0 +1,87 @@
+"""Closed-form versions of the paper's summary table (end of Section 1).
+
+These are the reference curves the benchmarks plot measured label sizes
+against.  Each function returns a bit count; Theta/O/Omega constants that the
+paper leaves unspecified are exposed as ``constant`` parameters defaulting
+to 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _log2(value: float) -> float:
+    return math.log2(max(value, 2.0))
+
+
+def exact_upper_bound_bits(n: int) -> float:
+    """Theorem 1.1 upper bound: ``1/4 log² n`` (low-order terms omitted)."""
+    return 0.25 * _log2(n) ** 2
+
+
+def exact_lower_bound_bits(n: int) -> float:
+    """Alstrup et al. lower bound: ``1/4 log² n - O(log n)``."""
+    return max(0.0, 0.25 * _log2(n) ** 2 - _log2(n))
+
+
+def alstrup_upper_bound_bits(n: int) -> float:
+    """The 1/2 log² n upper bound of [8] that the paper improves on."""
+    return 0.5 * _log2(n) ** 2
+
+
+def universal_tree_scheme_lower_bound_bits(n: int) -> float:
+    """Chung et al.: any universal-tree-based scheme needs this many bits."""
+    log_n = _log2(n)
+    return max(0.0, 0.5 * log_n * log_n - log_n * _log2(log_n))
+
+
+def approx_bound_bits(n: int, eps: float, constant: float = 1.0) -> float:
+    """Theorem 1.4 (both directions): ``Theta(log(1/eps) * log n)``."""
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    return constant * _log2(1.0 / eps) * _log2(n)
+
+
+def kdistance_small_upper_bound_bits(n: int, k: int, constant: float = 1.0) -> float:
+    """Theorem 1.3 upper bound for k < log n: ``log n + O(k log(log n / k))``."""
+    log_n = _log2(n)
+    return log_n + constant * k * _log2(max(log_n / k, 2.0))
+
+
+def kdistance_small_lower_bound_bits(n: int, k: int, constant: float = 1.0) -> float:
+    """Theorem 1.3 lower bound for k < log n (meaningful for k = o(log n / log log n))."""
+    log_n = _log2(n)
+    inner = log_n / (k * max(math.log2(max(k, 2)), 1.0))
+    if inner <= 1:
+        return log_n
+    return log_n + constant * k * math.log2(inner)
+
+
+def kdistance_large_bound_bits(n: int, k: int, constant: float = 1.0) -> float:
+    """Theorem 1.3 (both directions) for k >= log n: ``Theta(log n log(k / log n))``."""
+    log_n = _log2(n)
+    return constant * log_n * _log2(max(k / log_n, 2.0))
+
+
+def summary_table(n: int, k: int, eps: float) -> dict[str, dict[str, float]]:
+    """The whole summary table instantiated at (n, k, eps)."""
+    if k < math.log2(n):
+        k_upper = kdistance_small_upper_bound_bits(n, k)
+        k_lower = kdistance_small_lower_bound_bits(n, k)
+        regime = "k < log n"
+    else:
+        k_upper = kdistance_large_bound_bits(n, k)
+        k_lower = kdistance_large_bound_bits(n, k)
+        regime = "k >= log n"
+    return {
+        "exact": {
+            "upper": exact_upper_bound_bits(n),
+            "lower": exact_lower_bound_bits(n),
+        },
+        "approximate": {
+            "upper": approx_bound_bits(n, eps),
+            "lower": approx_bound_bits(n, eps),
+        },
+        f"k-distance ({regime})": {"upper": k_upper, "lower": k_lower},
+    }

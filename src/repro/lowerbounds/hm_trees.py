@@ -1,0 +1,165 @@
+"""(h, M)-trees (Gavoille, Peleg, Perennes, Raz; Fig. 2 and Lemma 2.3).
+
+An (h, M)-tree is a weighted rooted binary tree defined recursively: for
+``h = 0`` it is a single node; for ``h >= 1`` the root is connected to a
+single child by an edge of weight ``M - x`` (for a parameter ``x in [0, M)``)
+and the child is connected to two (h-1, M)-trees by edges of weight ``x``.
+Every choice of the ``2^h - 1`` parameters gives one member of the family.
+Lemma 2.3: any distance labeling scheme for this family needs
+``h/2 * log M`` bit labels even for leaf queries.
+
+These instances drive three experiments: the exact-distance lower bound
+(F2-hm), the large-k lower bound (Section 4.2) and — after the Section 5.1
+stretching in :mod:`repro.lowerbounds.stretched_trees` — the approximate
+lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.trees.tree import RootedTree
+
+
+@dataclass
+class HMTree:
+    """An (h, M)-tree plus bookkeeping."""
+
+    tree: RootedTree
+    h: int
+    M: int
+    parameters: list[int]
+    leaves: list[int]
+
+
+def hm_parameter_count(h: int) -> int:
+    """Number of free parameters (one per recursive root): ``2^h - 1``."""
+    return (1 << h) - 1
+
+
+def hm_tree_size(h: int) -> int:
+    """Number of nodes: ``3 * 2^h - 2``."""
+    return 3 * (1 << h) - 2
+
+
+def random_hm_parameters(h: int, M: int, seed: int = 0) -> list[int]:
+    """Uniformly random parameter vector ``x in [0, M)^{2^h - 1}``."""
+    rng = random.Random(seed)
+    return [rng.randrange(M) for _ in range(hm_parameter_count(h))]
+
+
+def build_hm_tree(h: int, M: int, parameters: list[int]) -> HMTree:
+    """Build the (h, M)-tree for a given parameter vector.
+
+    Parameters are indexed like a heap: the root of the whole tree uses
+    ``parameters[0]``, the roots of its two (h-1, M)-subtrees use
+    ``parameters[1]`` and ``parameters[2]``, and so on.
+    """
+    if h < 0:
+        raise ValueError("h must be non-negative")
+    if M < 1:
+        raise ValueError("M must be at least 1")
+    if len(parameters) != hm_parameter_count(h):
+        raise ValueError(
+            f"expected {hm_parameter_count(h)} parameters, got {len(parameters)}"
+        )
+    if any(not 0 <= x < M for x in parameters):
+        raise ValueError("every parameter must lie in [0, M)")
+
+    parents: list[int | None] = []
+    weights: list[int] = []
+    leaves: list[int] = []
+
+    def new_node(parent: int | None, weight: int) -> int:
+        parents.append(parent)
+        weights.append(weight)
+        return len(parents) - 1
+
+    def build(level: int, parameter_index: int, parent: int | None, weight: int) -> None:
+        node = new_node(parent, weight)
+        if level == 0:
+            leaves.append(node)
+            return
+        x = parameters[parameter_index]
+        child = new_node(node, M - x)
+        left_index = 2 * parameter_index + 1
+        right_index = 2 * parameter_index + 2
+        build(level - 1, left_index, child, x)
+        build(level - 1, right_index, child, x)
+
+    # the recursion depth is h (tiny); build iteratively only if ever needed
+    build(h, 0, None, 0)
+    tree = RootedTree(parents, weights)
+    return HMTree(tree=tree, h=h, M=M, parameters=parameters, leaves=leaves)
+
+
+def subdivide_to_unweighted(tree: RootedTree) -> tuple[RootedTree, dict[int, int]]:
+    """Replace every weight-w edge by w unit edges (w = 0 contracts the edge).
+
+    Returns the unweighted tree and a map from original nodes to their
+    images.  All pairwise distances between mapped nodes are preserved.
+    """
+    parents: list[int | None] = [None]
+    image: dict[int, int] = {tree.root: 0}
+
+    for node in tree.preorder():
+        if node == tree.root:
+            continue
+        parent_image = image[tree.parent(node)]
+        weight = tree.edge_weight(node)
+        if weight == 0:
+            image[node] = parent_image
+            continue
+        current = parent_image
+        for _ in range(weight):
+            parents.append(current)
+            current = len(parents) - 1
+        image[node] = current
+
+    return RootedTree(parents), image
+
+
+def lemma_2_3_bound_bits(h: int, M: int) -> float:
+    """Lemma 2.3: label length lower bound ``h/2 * log2 M`` bits."""
+    if M < 2:
+        return 0.0
+    return h / 2 * math.log2(M)
+
+
+def leaf_distance_profile(instance: HMTree) -> tuple[tuple[int, ...], ...]:
+    """All pairwise leaf distances (used by the counting experiments)."""
+    from repro.oracles.distance_matrix import DistanceMatrix
+
+    matrix = DistanceMatrix(instance.tree)
+    return matrix.leaf_profile(instance.leaves)
+
+
+def enumerate_parameter_vectors(h: int, M: int, limit: int | None = None):
+    """Yield parameter vectors of the family (all of them, or the first few)."""
+    count = hm_parameter_count(h)
+    total = M ** count
+    if limit is not None:
+        total = min(total, limit)
+    for index in range(total):
+        vector = []
+        value = index
+        for _ in range(count):
+            vector.append(value % M)
+            value //= M
+        yield vector
+
+
+def distinct_profile_count(h: int, M: int, limit: int | None = None) -> int:
+    """Number of distinct leaf-distance profiles over (part of) the family.
+
+    A counting companion to Lemma 2.3: if the family realises many distinct
+    leaf-distance profiles, few labels can be shared between instances, so
+    labels must be long.  Exact enumeration is only feasible for tiny
+    ``(h, M)``.
+    """
+    profiles = set()
+    for vector in enumerate_parameter_vectors(h, M, limit):
+        profiles.add(leaf_distance_profile(build_hm_tree(h, M, vector)))
+    return len(profiles)

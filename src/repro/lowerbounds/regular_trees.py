@@ -1,0 +1,110 @@
+"""(x, h, d)-regular trees (Section 4.1, Fig. 5).
+
+An ``x``-regular tree for a degree vector ``x = (x_1, ..., x_k)`` is a
+rooted tree of height ``k`` whose depth-i nodes all have degree ``x_{i+1}``.
+An ``(x, h, d)``-regular tree (``x in [h]^k``) is the ``y``-regular tree for
+``y = (d^{x_1}, d^{h - x_1}, ..., d^{x_k}, d^{h - x_k})`` — height ``2k`` and
+``d^{k h}`` leaves regardless of ``x``.  Lemma 4.1 bounds how many labels two
+members of the family can share, which yields the
+``log n + Omega(k log(log n / (k log k)))`` lower bound for k-distance
+labels.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.trees.tree import RootedTree
+
+
+def regular_degree_vector(x: list[int], h: int, d: int) -> list[int]:
+    """The degree vector ``y`` of the (x, h, d)-regular tree."""
+    degrees: list[int] = []
+    for value in x:
+        if not 1 <= value <= h:
+            raise ValueError("every entry of x must lie in [1, h]")
+        degrees.append(d ** value)
+        degrees.append(d ** (h - value))
+    return degrees
+
+
+def build_regular_tree(x: list[int], h: int, d: int) -> RootedTree:
+    """Build the (x, h, d)-regular tree (beware: ``d^{kh}`` leaves)."""
+    degrees = regular_degree_vector(x, h, d)
+    parents: list[int | None] = [None]
+    frontier = [0]
+    for degree in degrees:
+        next_frontier: list[int] = []
+        for node in frontier:
+            for _ in range(degree):
+                parents.append(node)
+                next_frontier.append(len(parents) - 1)
+        frontier = next_frontier
+    return RootedTree(parents)
+
+
+def regular_tree_leaf_count(h: int, d: int, k: int) -> int:
+    """Number of leaves of any (x, h, d)-regular tree with |x| = k: d^{kh}."""
+    return d ** (k * h)
+
+
+def regular_tree_size(x: list[int], h: int, d: int) -> int:
+    """Total number of nodes of the (x, h, d)-regular tree."""
+    degrees = regular_degree_vector(x, h, d)
+    size = 1
+    level = 1
+    for degree in degrees:
+        level *= degree
+        size += level
+    return size
+
+
+def common_labels_upper_bound(x: list[int], y: list[int], h: int, d: int) -> int:
+    """Lemma 4.1 (first part): bound on labels shared by two instances.
+
+    ``common(x, y) <= prod_i d^{min(x_i, y_i)} * d^{h - max(x_i, y_i)}``.
+    """
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    bound = 1
+    for a, b in zip(x, y):
+        bound *= d ** min(a, b) * d ** (h - max(a, b))
+    return bound
+
+
+def lemma_4_1_total_bound(h: int, d: int, k: int) -> float:
+    """Lemma 4.1: sum over all pairs of the common-label bound.
+
+    ``sum_{x, y} common(x, y) <= (h d^h (1 + 2/(d-1)))^k``.
+    """
+    if d < 2:
+        raise ValueError("d must be at least 2")
+    return (h * (d ** h) * (1 + 2 / (d - 1))) ** k
+
+
+def exact_pairwise_common_sum(h: int, d: int, k: int) -> int:
+    """Exact value of ``sum_{x, y in [h]^k} prod d^{min} d^{h-max}``.
+
+    Used to verify Lemma 4.1 numerically: the exact sum must never exceed
+    the closed-form bound.
+    """
+    single = 0
+    for a in range(1, h + 1):
+        for b in range(1, h + 1):
+            single += d ** min(a, b) * d ** (h - max(a, b))
+    return single ** k
+
+
+def small_k_lower_bound_bits(n: int, k: int) -> float:
+    """Theorem 1.3 lower bound shape for k < log n (constant factors omitted).
+
+    ``log n + k * log(log n / (k log k))`` — meaningful when the inner
+    logarithm is positive, i.e. ``k = o(log n / log log n)``.
+    """
+    if n < 4 or k < 1:
+        return 0.0
+    log_n = math.log2(n)
+    inner = log_n / (k * max(math.log2(max(k, 2)), 1.0))
+    if inner <= 1:
+        return log_n
+    return log_n + k * math.log2(inner)

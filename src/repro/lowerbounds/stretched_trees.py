@@ -1,0 +1,77 @@
+"""Stretched (h, M)-trees (Section 5.1): approximate-distance lower bound.
+
+The construction subdivides an (h, M)-tree into an unweighted tree and then
+subdivides every edge at depth ``delta`` into ``floor((1 + eps)^{hM - delta})``
+edges.  Leaves at original distance ``2j`` end up at distance
+``f(j) = 2 * sum_{i=1..j} floor((1 + eps)^i)``, and the intervals
+``[f(j), (1 + eps) f(j)]`` are pairwise disjoint — so a (1+eps)-approximate
+answer reveals the exact original distance, and Lemma 2.3 applies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.lowerbounds.hm_trees import HMTree, build_hm_tree, subdivide_to_unweighted
+from repro.trees.tree import RootedTree
+
+
+def stretch_factor(eps: float, exponent: int) -> int:
+    """``floor((1 + eps)^exponent)`` (at least 1)."""
+    return max(1, int(math.floor((1.0 + eps) ** exponent)))
+
+
+def stretched_distance(j: int, eps: float) -> int:
+    """``f(j) = 2 * sum_{i=1..j} floor((1 + eps)^i)``."""
+    return 2 * sum(stretch_factor(eps, i) for i in range(1, j + 1))
+
+
+def stretched_intervals_disjoint(eps: float, max_j: int) -> bool:
+    """Whether ``[f(j), (1+eps) f(j)]`` and ``[f(j+1), ...]`` are disjoint.
+
+    Section 5.1 proves this holds for every ``eps <= 1``; the function lets
+    tests confirm the computation numerically.
+    """
+    for j in range(1, max_j):
+        if (1.0 + eps) * stretched_distance(j, eps) >= stretched_distance(j + 1, eps):
+            return False
+    return True
+
+
+def build_stretched_hm_tree(
+    h: int, M: int, parameters: list[int], eps: float
+) -> tuple[RootedTree, list[int]]:
+    """Build the stretched tree and return it with the images of the leaves.
+
+    The construction follows Section 5.1: subdivide the (h, M)-tree into an
+    unweighted tree of height ``h * M``, then subdivide each depth-``delta``
+    edge into ``floor((1 + eps)^{hM - delta})`` unit edges.
+    """
+    instance: HMTree = build_hm_tree(h, M, parameters)
+    unweighted, image = subdivide_to_unweighted(instance.tree)
+    height = h * M
+
+    parents: list[int | None] = [None]
+    new_image: dict[int, int] = {unweighted.root: 0}
+    for node in unweighted.preorder():
+        if node == unweighted.root:
+            continue
+        parent = unweighted.parent(node)
+        depth = unweighted.depth(node) - 1  # depth of the edge's upper endpoint
+        pieces = stretch_factor(eps, height - depth)
+        current = new_image[parent]
+        for _ in range(pieces):
+            parents.append(current)
+            current = len(parents) - 1
+        new_image[node] = current
+
+    stretched = RootedTree(parents)
+    leaf_images = [new_image[image[leaf]] for leaf in instance.leaves]
+    return stretched, leaf_images
+
+
+def approx_lower_bound_bits(n: int, eps: float) -> float:
+    """Theorem 1.4 lower bound shape: ``log(1/eps) * log n`` (constants omitted)."""
+    if n < 2 or eps <= 0:
+        return 0.0
+    return math.log2(max(1.0 / eps, 2.0)) * math.log2(n)

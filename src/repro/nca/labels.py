@@ -1,0 +1,136 @@
+"""Light-depth labels (the role Lemma 2.1 plays in the distance schemes).
+
+The distance labeling schemes of Section 3 consume an NCA labeling scheme
+only through two operations on a *pair* of labels:
+
+* ``lightdepth(u, v)`` — the number of light edges on the path from the root
+  to ``NCA(u, v)``, equivalently the depth in the collapsed tree of the
+  deepest heavy path shared by the two root paths, and
+* the *domination* order of Lemma 3.1 (which endpoint leaves the NCA through
+  the shallower / non-exceptional light edge).
+
+:class:`LightDepthLabeling` provides exactly those two operations from
+O(log n)-bit labels: each label stores the sequence of size-weighted
+prefix-free codewords identifying its path in the collapsed tree (total
+length O(log n) because subtree sizes telescope) plus the postorder
+(domination) number of its heavy path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding.alphabetic import SizeWeightedCode, common_codeword_prefix
+from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.elias import decode_delta, decode_gamma, encode_delta, encode_gamma
+from repro.trees.collapsed import CollapsedTree
+from repro.trees.heavy_path import HeavyPathDecomposition
+from repro.trees.tree import RootedTree
+
+
+@dataclass
+class LightDepthLabel:
+    """Per-node label supporting light-depth-of-NCA and domination queries."""
+
+    light_depth: int
+    codewords: list[Bits]
+    domination: int
+
+    def to_bits(self) -> Bits:
+        """Serialise the label as a self-delimiting bit string."""
+        writer = BitWriter()
+        self.write(writer)
+        return writer.getvalue()
+
+    def write(self, writer: BitWriter) -> None:
+        """Append the label to an existing writer."""
+        encode_gamma(writer, self.light_depth)
+        for word in self.codewords:
+            encode_gamma(writer, len(word))
+            writer.write_bits(word)
+        encode_delta(writer, self.domination)
+
+    @classmethod
+    def read(cls, reader: BitReader) -> "LightDepthLabel":
+        """Parse a label previously produced by :meth:`write`."""
+        light_depth = decode_gamma(reader)
+        codewords = []
+        for _ in range(light_depth):
+            length = decode_gamma(reader)
+            codewords.append(reader.read_bits(length))
+        domination = decode_delta(reader)
+        return cls(light_depth, codewords, domination)
+
+    @classmethod
+    def from_bits(cls, bits: Bits) -> "LightDepthLabel":
+        """Parse a standalone label."""
+        return cls.read(BitReader(bits))
+
+    def bit_length(self) -> int:
+        """Size of the serialised label in bits."""
+        return len(self.to_bits())
+
+
+class LightDepthLabeling:
+    """Assigns :class:`LightDepthLabel` to every node of a tree."""
+
+    def __init__(
+        self,
+        tree: RootedTree,
+        collapsed: CollapsedTree | None = None,
+    ) -> None:
+        if collapsed is None:
+            collapsed = CollapsedTree(HeavyPathDecomposition(tree))
+        self._tree = tree
+        self._collapsed = collapsed
+        self._codes: dict[int, SizeWeightedCode] = {}
+        self._codeword_of_path: dict[int, Bits] = {}
+        self._build_codes()
+
+    def _build_codes(self) -> None:
+        collapsed = self._collapsed
+        tree = self._tree
+        for node in range(len(collapsed)):
+            children = collapsed.children(node)
+            if not children:
+                continue
+            weights = [tree.subtree_size(collapsed.head(child)) for child in children]
+            code = SizeWeightedCode(weights)
+            self._codes[node] = code
+            for index, child in enumerate(children):
+                self._codeword_of_path[child] = code.codeword(index)
+
+    @property
+    def collapsed(self) -> CollapsedTree:
+        """The collapsed tree the codes were built over."""
+        return self._collapsed
+
+    def codewords_for(self, tree_node: int) -> list[Bits]:
+        """Per-level codewords identifying ``tree_node``'s collapsed path."""
+        sequence = self._collapsed.root_path_sequence(tree_node)
+        return [self._codeword_of_path[path] for path in sequence[1:]]
+
+    def label(self, tree_node: int) -> LightDepthLabel:
+        """Build the label of one node."""
+        path = self._collapsed.collapsed_node_of(tree_node)
+        return LightDepthLabel(
+            light_depth=self._collapsed.depth(path),
+            codewords=self.codewords_for(tree_node),
+            domination=self._collapsed.domination_number(path),
+        )
+
+    def encode(self) -> dict[int, LightDepthLabel]:
+        """Labels for every node of the tree."""
+        return {node: self.label(node) for node in self._tree.nodes()}
+
+    # -- pair queries (labels only) ----------------------------------------
+
+    @staticmethod
+    def lightdepth_of_nca(label_a: LightDepthLabel, label_b: LightDepthLabel) -> int:
+        """``lightdepth(NCA(a, b))`` computed from two labels."""
+        return common_codeword_prefix(label_a.codewords, label_b.codewords)
+
+    @staticmethod
+    def dominates(label_a: LightDepthLabel, label_b: LightDepthLabel) -> bool:
+        """Whether the node of ``label_a`` dominates the node of ``label_b``."""
+        return label_a.domination < label_b.domination

@@ -1,0 +1,66 @@
+"""Euler-tour + sparse-table LCA oracle.
+
+O(n log n) preprocessing, O(1) queries.  This is a substrate (full tree
+access), not a labeling scheme; the labeling schemes use it while *encoding*
+and the tests use it as ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.trees.traversal import euler_tour
+from repro.trees.tree import RootedTree
+
+
+class LCAOracle:
+    """Constant-time lowest-common-ancestor queries after preprocessing."""
+
+    def __init__(self, tree: RootedTree) -> None:
+        self._tree = tree
+        tour, depths, first = euler_tour(tree)
+        self._tour = tour
+        self._first = first
+        self._build_sparse_table(depths)
+
+    def _build_sparse_table(self, depths: list[int]) -> None:
+        m = len(depths)
+        # table[j][i] = index (into the tour) of the minimum-depth entry in
+        # the window [i, i + 2^j)
+        table: list[list[int]] = [list(range(m))]
+        j = 1
+        while (1 << j) <= m:
+            previous = table[j - 1]
+            width = 1 << (j - 1)
+            current = []
+            for i in range(m - (1 << j) + 1):
+                left = previous[i]
+                right = previous[i + width]
+                current.append(left if depths[left] <= depths[right] else right)
+            table.append(current)
+            j += 1
+        self._table = table
+        self._depths = depths
+        self._log = [0] * (m + 1)
+        for i in range(2, m + 1):
+            self._log[i] = self._log[i // 2] + 1
+
+    def query(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v``."""
+        left = self._first[u]
+        right = self._first[v]
+        if left > right:
+            left, right = right, left
+        length = right - left + 1
+        k = self._log[length]
+        a = self._table[k][left]
+        b = self._table[k][right - (1 << k) + 1]
+        best = a if self._depths[a] <= self._depths[b] else b
+        return self._tour[best]
+
+    def distance(self, u: int, v: int) -> int:
+        """Weighted distance computed through the LCA."""
+        ancestor = self.query(u, v)
+        return (
+            self._tree.root_distance(u)
+            + self._tree.root_distance(v)
+            - 2 * self._tree.root_distance(ancestor)
+        )

@@ -1,0 +1,10 @@
+"""Ground-truth distance oracles.
+
+These are *not* labeling schemes: they answer queries with full access to the
+tree and exist to verify the labeling schemes and to generate workloads.
+"""
+
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.oracles.distance_matrix import DistanceMatrix
+
+__all__ = ["TreeDistanceOracle", "DistanceMatrix"]

@@ -1,0 +1,63 @@
+"""Dense all-pairs distance matrix for small trees.
+
+Used by tests and by the counting experiments on lower-bound families, where
+we need every pairwise distance of a small instance at once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.trees.tree import RootedTree
+
+
+class DistanceMatrix:
+    """All-pairs weighted distances of a (small) tree."""
+
+    def __init__(self, tree: RootedTree) -> None:
+        self._tree = tree
+        self._matrix = [self._bfs_from(source) for source in tree.nodes()]
+
+    def _bfs_from(self, source: int) -> list[int]:
+        tree = self._tree
+        distances = [-1] * tree.n
+        distances[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            neighbours = list(tree.children(node))
+            parent = tree.parent(node)
+            if parent is not None:
+                neighbours.append(parent)
+            for neighbour in neighbours:
+                if distances[neighbour] >= 0:
+                    continue
+                if neighbour == parent:
+                    weight = tree.edge_weight(node)
+                else:
+                    weight = tree.edge_weight(neighbour)
+                distances[neighbour] = distances[node] + weight
+                queue.append(neighbour)
+        return distances
+
+    def distance(self, u: int, v: int) -> int:
+        """Weighted distance between ``u`` and ``v``."""
+        return self._matrix[u][v]
+
+    def row(self, node: int) -> list[int]:
+        """All distances from ``node``."""
+        return list(self._matrix[node])
+
+    def leaf_profile(self, leaves: list[int]) -> tuple[tuple[int, ...], ...]:
+        """Pairwise distance profile restricted to ``leaves``.
+
+        Used by the counting experiments on (h, M)-trees: two instances with
+        different profiles cannot share all their leaf labels.
+        """
+        return tuple(
+            tuple(self._matrix[a][b] for b in leaves) for a in leaves
+        )
+
+    def diameter(self) -> int:
+        """Maximum pairwise distance."""
+        return max(max(row) for row in self._matrix)

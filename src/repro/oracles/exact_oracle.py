@@ -1,0 +1,56 @@
+"""Exact tree-distance oracle based on an LCA sparse table.
+
+``distance(u, v) = root_distance(u) + root_distance(v) - 2 * root_distance(lca(u, v))``
+— the identity the paper recalls at the start of Section 2.
+"""
+
+from __future__ import annotations
+
+from repro.nca.lca_oracle import LCAOracle
+from repro.trees.tree import RootedTree
+
+
+class TreeDistanceOracle:
+    """Answers exact weighted distance queries with full access to the tree."""
+
+    def __init__(self, tree: RootedTree) -> None:
+        self._tree = tree
+        self._lca = LCAOracle(tree)
+
+    @property
+    def tree(self) -> RootedTree:
+        """The underlying tree."""
+        return self._tree
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v``."""
+        return self._lca.query(u, v)
+
+    def distance(self, u: int, v: int) -> int:
+        """Weighted distance between ``u`` and ``v``."""
+        ancestor = self._lca.query(u, v)
+        return (
+            self._tree.root_distance(u)
+            + self._tree.root_distance(v)
+            - 2 * self._tree.root_distance(ancestor)
+        )
+
+    def hop_distance(self, u: int, v: int) -> int:
+        """Unweighted (edge count) distance between ``u`` and ``v``."""
+        ancestor = self._lca.query(u, v)
+        return (
+            self._tree.depth(u) + self._tree.depth(v) - 2 * self._tree.depth(ancestor)
+        )
+
+    def level_ancestor(self, node: int, steps: int) -> int | None:
+        """Ancestor of ``node`` exactly ``steps`` edges above it."""
+        current: int | None = node
+        for _ in range(steps):
+            if current is None:
+                return None
+            current = self._tree.parent(current)
+        return current
+
+    def eccentricity(self, node: int) -> int:
+        """Maximum distance from ``node`` to any other node."""
+        return max(self.distance(node, other) for other in self._tree.nodes())

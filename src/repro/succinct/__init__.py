@@ -1,0 +1,20 @@
+"""Succinct support structures.
+
+Lemma 2.2 of the paper augments its monotone-sequence encoding with a select
+structure (Clark), a rank structure (Jacobson) and a predecessor structure
+(Patrascu-Thorup).  This package provides the same functionality:
+
+* :class:`~repro.succinct.bitvector.BitVector` — a plain bit vector with
+  block-based rank and select,
+* :class:`~repro.succinct.predecessor.PredecessorStructure` — predecessor /
+  successor queries over a static sorted set.
+
+The implementations follow the block decompositions of the classical
+structures; on CPython the constant factors differ from the word-RAM model,
+but the interfaces and the per-query work match the paper's usage.
+"""
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.predecessor import PredecessorStructure
+
+__all__ = ["BitVector", "PredecessorStructure"]

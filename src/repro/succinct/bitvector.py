@@ -1,0 +1,94 @@
+"""Static bit vector with rank and select support.
+
+``rank1(i)`` counts ones in the prefix ``[0, i)`` (block-based, Jacobson
+style) and ``select1(k)`` returns the position of the ``k``-th one (1-based,
+Clark-style position sampling).  Both are used by the Lemma 2.2 monotone
+sequence encoder: select recovers quotient values from the unary stream,
+rank counts element boundaries inside a prefix.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.bitio import Bits
+
+
+class BitVector:
+    """An immutable bit vector supporting block-accelerated rank and select."""
+
+    _BLOCK = 32
+
+    def __init__(self, bits: Bits | str | list[int]) -> None:
+        if isinstance(bits, Bits):
+            data = bits.data
+        elif isinstance(bits, str):
+            data = bits
+        else:
+            data = "".join("1" if b else "0" for b in bits)
+        if data and set(data) - {"0", "1"}:
+            raise ValueError("bit vector accepts only 0/1 characters")
+        self._data = data
+        self._build()
+
+    def _build(self) -> None:
+        block = self._BLOCK
+        data = self._data
+        prefix = [0]
+        for start in range(0, len(data), block):
+            prefix.append(prefix[-1] + data.count("1", start, start + block))
+        self._prefix = prefix
+        self._total_ones = prefix[-1]
+        self._one_positions = [i for i, ch in enumerate(data) if ch == "1"]
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index: int) -> int:
+        return 1 if self._data[index] == "1" else 0
+
+    @property
+    def ones(self) -> int:
+        """Total number of set bits."""
+        return self._total_ones
+
+    def rank1(self, position: int) -> int:
+        """Number of ones in ``[0, position)``."""
+        if not 0 <= position <= len(self._data):
+            raise IndexError(f"rank position {position} out of range")
+        block_index = position // self._BLOCK
+        count = self._prefix[block_index]
+        count += self._data.count("1", block_index * self._BLOCK, position)
+        return count
+
+    def rank0(self, position: int) -> int:
+        """Number of zeros in ``[0, position)``."""
+        return position - self.rank1(position)
+
+    def select1(self, k: int) -> int:
+        """Position of the ``k``-th one (1-based)."""
+        if not 1 <= k <= self._total_ones:
+            raise IndexError(f"select1({k}) out of range (have {self._total_ones} ones)")
+        return self._one_positions[k - 1]
+
+    def select0(self, k: int) -> int:
+        """Position of the ``k``-th zero (1-based), by binary search on rank0."""
+        zeros = len(self._data) - self._total_ones
+        if not 1 <= k <= zeros:
+            raise IndexError(f"select0({k}) out of range (have {zeros} zeros)")
+        lo, hi = 0, len(self._data) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.rank0(mid + 1) >= k:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def to_bits(self) -> Bits:
+        """Return the underlying bits."""
+        return Bits(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        shown = self._data if len(self._data) <= 32 else self._data[:32] + "..."
+        return f"BitVector({shown!r}, ones={self._total_ones})"

@@ -1,0 +1,81 @@
+"""Predecessor / successor structure over a static sorted set.
+
+Lemma 2.2 uses the predecessor structure of Patrascu and Thorup to answer
+successor queries over the (deduplicated) monotone sequence in constant time
+when both the sequence length and the universe are O(log n).  In that regime
+a query touches only a machine word; here we keep the same two-level
+organisation (a top-level bucket directory plus in-bucket scans) so the work
+per query is bounded by a constant number of bucket operations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+
+class PredecessorStructure:
+    """Static predecessor/successor queries over a sorted integer set."""
+
+    def __init__(self, values: list[int]) -> None:
+        deduped = sorted(set(values))
+        self._values = deduped
+        if deduped:
+            self._universe = deduped[-1]
+            # bucket width chosen so that the directory has O(len) entries
+            self._bucket_bits = max(1, (self._universe.bit_length() + 1) // 2)
+        else:
+            self._universe = 0
+            self._bucket_bits = 1
+        self._buckets: dict[int, list[int]] = {}
+        for value in deduped:
+            self._buckets.setdefault(value >> self._bucket_bits, []).append(value)
+        self._bucket_keys = sorted(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[int]:
+        """The stored values in increasing order."""
+        return list(self._values)
+
+    def successor(self, query: int) -> int | None:
+        """Smallest stored value ``>= query`` (``None`` when there is none)."""
+        if not self._values:
+            return None
+        bucket_key = query >> self._bucket_bits
+        bucket = self._buckets.get(bucket_key)
+        if bucket is not None:
+            idx = bisect_left(bucket, query)
+            if idx < len(bucket):
+                return bucket[idx]
+        key_idx = bisect_right(self._bucket_keys, bucket_key)
+        if key_idx < len(self._bucket_keys):
+            return self._buckets[self._bucket_keys[key_idx]][0]
+        return None
+
+    def predecessor(self, query: int) -> int | None:
+        """Largest stored value ``<= query`` (``None`` when there is none)."""
+        if not self._values:
+            return None
+        bucket_key = query >> self._bucket_bits
+        bucket = self._buckets.get(bucket_key)
+        if bucket is not None:
+            idx = bisect_right(bucket, query)
+            if idx > 0:
+                return bucket[idx - 1]
+        key_idx = bisect_left(self._bucket_keys, bucket_key)
+        if key_idx > 0:
+            return self._buckets[self._bucket_keys[key_idx - 1]][-1]
+        return None
+
+    def successor_index(self, query: int) -> int | None:
+        """Index (into the sorted value list) of the successor of ``query``."""
+        succ = self.successor(query)
+        if succ is None:
+            return None
+        return bisect_left(self._values, succ)
+
+    def __contains__(self, value: int) -> bool:
+        idx = bisect_left(self._values, value)
+        return idx < len(self._values) and self._values[idx] == value

@@ -1,0 +1,98 @@
+"""Constructors for :class:`~repro.trees.tree.RootedTree`.
+
+Trees can be built from parent arrays, from (undirected or directed) edge
+lists, or from a networkx graph (optional dependency, used by the example
+applications that extract spanning trees of larger networks).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.trees.tree import RootedTree, TreeError
+
+
+def tree_from_parents(
+    parents: Sequence[int | None], weights: Sequence[int] | None = None
+) -> RootedTree:
+    """Build a tree from a parent array (``None``/negative marks the root)."""
+    return RootedTree(parents, weights)
+
+
+def tree_from_edges(
+    n: int,
+    edges: Iterable[tuple[int, int] | tuple[int, int, int]],
+    root: int = 0,
+) -> RootedTree:
+    """Build a tree from an undirected edge list by rooting it at ``root``.
+
+    Each edge is ``(u, v)`` or ``(u, v, weight)``.
+    """
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    count = 0
+    for edge in edges:
+        if len(edge) == 2:
+            u, v = edge  # type: ignore[misc]
+            w = 1
+        else:
+            u, v, w = edge  # type: ignore[misc]
+        if not (0 <= u < n and 0 <= v < n):
+            raise TreeError(f"edge ({u}, {v}) out of range for n={n}")
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+        count += 1
+    if count != n - 1:
+        raise TreeError(f"a tree on {n} nodes needs {n - 1} edges, got {count}")
+
+    parents: list[int | None] = [None] * n
+    weights = [0] * n
+    seen = [False] * n
+    seen[root] = True
+    queue = deque([root])
+    visited = 1
+    while queue:
+        node = queue.popleft()
+        for neighbour, weight in adjacency[node]:
+            if not seen[neighbour]:
+                seen[neighbour] = True
+                parents[neighbour] = node
+                weights[neighbour] = weight
+                visited += 1
+                queue.append(neighbour)
+    if visited != n:
+        raise TreeError("edge list is disconnected")
+    return RootedTree(parents, weights)
+
+
+def tree_from_networkx(graph, root=None) -> tuple[RootedTree, dict]:
+    """Build a tree from a networkx tree or from a BFS spanning tree.
+
+    Returns the tree plus a mapping from original graph nodes to the integer
+    node identifiers used by :class:`RootedTree`.
+    """
+    import networkx as nx  # local import: optional dependency
+
+    if root is None:
+        root = next(iter(graph.nodes))
+    if not nx.is_tree(graph):
+        graph = nx.bfs_tree(graph, root).to_undirected()
+    mapping = {node: index for index, node in enumerate(graph.nodes)}
+    edges = []
+    for u, v, data in graph.edges(data=True):
+        weight = int(data.get("weight", 1))
+        edges.append((mapping[u], mapping[v], weight))
+    tree = tree_from_edges(len(mapping), edges, root=mapping[root])
+    return tree, mapping
+
+
+def path_tree(n: int) -> RootedTree:
+    """A path on ``n`` nodes rooted at one end."""
+    parents: list[int | None] = [None] + [i for i in range(n - 1)]
+    return RootedTree(parents)
+
+
+def star_tree(n: int) -> RootedTree:
+    """A star on ``n`` nodes rooted at the centre."""
+    parents: list[int | None] = [None] + [0] * (n - 1)
+    return RootedTree(parents)

@@ -1,0 +1,77 @@
+"""Iterative traversals used by oracles and schemes.
+
+All traversals are iterative so that deep trees (paths of tens of thousands
+of nodes) never hit CPython's recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.trees.tree import RootedTree
+
+
+def preorder(tree: RootedTree) -> list[int]:
+    """Preorder traversal with children visited in stored order."""
+    return tree.preorder()
+
+
+def postorder(tree: RootedTree) -> list[int]:
+    """Postorder traversal with children visited in stored order."""
+    return tree.postorder()
+
+
+def bfs_order(tree: RootedTree) -> list[int]:
+    """Breadth-first order from the root."""
+    order = []
+    queue = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        queue.extend(tree.children(node))
+    return order
+
+
+def euler_tour(tree: RootedTree) -> tuple[list[int], list[int], list[int]]:
+    """Euler tour of the tree.
+
+    Returns ``(tour, depths, first_occurrence)`` where ``tour`` lists nodes in
+    the order they are visited (each internal node appears once per child
+    visit plus once), ``depths`` gives the depth of each tour entry and
+    ``first_occurrence[v]`` is the index of the first appearance of ``v``.
+    This is the classical input to the sparse-table LCA oracle.
+    """
+    tour: list[int] = []
+    depths: list[int] = []
+    first: list[int] = [-1] * tree.n
+
+    stack: list[tuple[int, int, int]] = [(tree.root, 0, 0)]
+    # each stack frame: (node, depth, index of next child to expand)
+    while stack:
+        node, depth, child_index = stack.pop()
+        if child_index == 0 or True:
+            tour.append(node)
+            depths.append(depth)
+            if first[node] == -1:
+                first[node] = len(tour) - 1
+        children = tree.children(node)
+        if child_index < len(children):
+            stack.append((node, depth, child_index + 1))
+            stack.append((children[child_index], depth + 1, 0))
+    return tour, depths, first
+
+
+def leaves_in_preorder(tree: RootedTree) -> Iterator[int]:
+    """Yield leaves in preorder."""
+    for node in tree.preorder():
+        if tree.is_leaf(node):
+            yield node
+
+
+def nodes_by_depth(tree: RootedTree) -> dict[int, list[int]]:
+    """Group nodes by depth."""
+    groups: dict[int, list[int]] = {}
+    for node in tree.nodes():
+        groups.setdefault(tree.depth(node), []).append(node)
+    return groups

@@ -1,0 +1,231 @@
+"""The rooted tree data structure.
+
+Nodes are integers ``0 .. n-1``.  Every node except the root has a parent and
+a non-negative integer weight on the edge to its parent (default 1, the
+unweighted case).  The structure is immutable after construction; derived
+quantities (subtree sizes, depths, root distances, traversal orders) are
+computed once and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class TreeError(ValueError):
+    """Raised when tree construction input is inconsistent."""
+
+
+class RootedTree:
+    """An immutable rooted tree with integer nodes and weighted edges."""
+
+    def __init__(
+        self,
+        parents: Sequence[int | None],
+        weights: Sequence[int] | None = None,
+    ) -> None:
+        n = len(parents)
+        if n == 0:
+            raise TreeError("a tree must contain at least one node")
+        roots = [v for v, p in enumerate(parents) if p is None or p < 0]
+        if len(roots) != 1:
+            raise TreeError(f"expected exactly one root, found {len(roots)}")
+        self._root = roots[0]
+        self._parents: list[int | None] = [
+            None if (p is None or p < 0) else int(p) for p in parents
+        ]
+        if weights is None:
+            self._weights = [1] * n
+            self._weights[self._root] = 0
+        else:
+            if len(weights) != n:
+                raise TreeError("weights must have one entry per node")
+            if any(w < 0 for w in weights):
+                raise TreeError("edge weights must be non-negative")
+            self._weights = list(weights)
+            self._weights[self._root] = 0
+        for v, p in enumerate(self._parents):
+            if p is not None and not 0 <= p < n:
+                raise TreeError(f"parent of node {v} out of range: {p}")
+
+        self._children: list[list[int]] = [[] for _ in range(n)]
+        for v, p in enumerate(self._parents):
+            if p is not None:
+                self._children[p].append(v)
+
+        self._validate_acyclic()
+        self._compute_orders()
+
+    # -- construction helpers -------------------------------------------
+
+    def _validate_acyclic(self) -> None:
+        n = len(self._parents)
+        seen = [False] * n
+        seen[self._root] = True
+        stack = [self._root]
+        visited = 1
+        while stack:
+            node = stack.pop()
+            for child in self._children[node]:
+                if seen[child]:
+                    raise TreeError("parent array contains a cycle")
+                seen[child] = True
+                visited += 1
+                stack.append(child)
+        if visited != n:
+            raise TreeError("parent array is disconnected")
+
+    def _compute_orders(self) -> None:
+        n = len(self._parents)
+        self._preorder: list[int] = []
+        self._postorder: list[int] = []
+        self._depth = [0] * n
+        self._root_distance = [0] * n
+        self._subtree_size = [1] * n
+
+        stack: list[tuple[int, bool]] = [(self._root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                self._postorder.append(node)
+                for child in self._children[node]:
+                    self._subtree_size[node] += self._subtree_size[child]
+                continue
+            self._preorder.append(node)
+            stack.append((node, True))
+            for child in reversed(self._children[node]):
+                self._depth[child] = self._depth[node] + 1
+                self._root_distance[child] = (
+                    self._root_distance[node] + self._weights[child]
+                )
+                stack.append((child, False))
+
+        self._pre_index = [0] * n
+        for index, node in enumerate(self._preorder):
+            self._pre_index[node] = index
+        self._post_index = [0] * n
+        for index, node in enumerate(self._postorder):
+            self._post_index[node] = index
+
+    # -- basic accessors -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._parents)
+
+    @property
+    def root(self) -> int:
+        """The root node."""
+        return self._root
+
+    def nodes(self) -> range:
+        """Iterate over all node identifiers."""
+        return range(len(self._parents))
+
+    def parent(self, node: int) -> int | None:
+        """Parent of ``node`` (``None`` for the root)."""
+        return self._parents[node]
+
+    def children(self, node: int) -> list[int]:
+        """Children of ``node`` in construction order."""
+        return list(self._children[node])
+
+    def degree(self, node: int) -> int:
+        """Number of children."""
+        return len(self._children[node])
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` has no children."""
+        return not self._children[node]
+
+    def leaves(self) -> list[int]:
+        """All leaves in preorder."""
+        return [v for v in self._preorder if self.is_leaf(v)]
+
+    def edge_weight(self, node: int) -> int:
+        """Weight of the edge from ``node`` to its parent (0 for the root)."""
+        return self._weights[node]
+
+    def is_unit_weighted(self) -> bool:
+        """Whether every non-root edge has weight exactly 1."""
+        return all(
+            self._weights[v] == 1 for v in self.nodes() if v != self._root
+        )
+
+    # -- derived quantities ------------------------------------------------
+
+    def depth(self, node: int) -> int:
+        """Number of edges on the root-to-``node`` path."""
+        return self._depth[node]
+
+    def root_distance(self, node: int) -> int:
+        """Weighted distance from the root to ``node``."""
+        return self._root_distance[node]
+
+    def subtree_size(self, node: int) -> int:
+        """Number of nodes in the subtree rooted at ``node``."""
+        return self._subtree_size[node]
+
+    def preorder(self) -> list[int]:
+        """Preorder traversal (children in construction order)."""
+        return list(self._preorder)
+
+    def postorder(self) -> list[int]:
+        """Postorder traversal (children in construction order)."""
+        return list(self._postorder)
+
+    def preorder_index(self, node: int) -> int:
+        """Position of ``node`` in the preorder traversal."""
+        return self._pre_index[node]
+
+    def postorder_index(self, node: int) -> int:
+        """Position of ``node`` in the postorder traversal."""
+        return self._post_index[node]
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Whether ``ancestor`` is an (improper) ancestor of ``descendant``."""
+        pre_a = self._pre_index[ancestor]
+        pre_d = self._pre_index[descendant]
+        return pre_a <= pre_d < pre_a + self._subtree_size[ancestor]
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Nodes on the path from ``node`` up to (and including) the root."""
+        path = [node]
+        current = node
+        while (parent := self._parents[current]) is not None:
+            path.append(parent)
+            current = parent
+        return path
+
+    def height(self) -> int:
+        """Maximum depth over all nodes."""
+        return max(self._depth)
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate ``(parent, child, weight)`` triples."""
+        for v, p in enumerate(self._parents):
+            if p is not None:
+                yield p, v, self._weights[v]
+
+    # -- ordered variants --------------------------------------------------
+
+    def with_child_order(self, order: dict[int, list[int]]) -> "RootedTree":
+        """Return a copy whose children obey the given per-node ordering."""
+        clone = RootedTree(self._parents, self._weights)
+        for node, children in order.items():
+            if sorted(children) != sorted(clone._children[node]):
+                raise TreeError(f"child order for node {node} is not a permutation")
+            clone._children[node] = list(children)
+        clone._compute_orders()
+        return clone
+
+    def reweighted(self, weights: Iterable[int]) -> "RootedTree":
+        """Return a copy of the tree with new edge weights."""
+        return RootedTree(self._parents, list(weights))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RootedTree(n={self.n}, root={self._root})"

@@ -1,0 +1,39 @@
+"""Universal trees and their connection to labeling schemes (Section 3.5).
+
+The paper separates distance labeling from level-ancestor labeling by
+showing (Lemma 3.6) that any *parent* labeling scheme with ``S(n)``-bit
+labels yields a universal rooted tree with ``O(2^{S(n)})`` nodes, and then
+invoking the Goldberg-Livshits / Chung et al. lower bound on universal tree
+size (Lemma 3.7).  This package implements that machinery:
+
+* :func:`~repro.universal.universal_tree.universal_tree_from_parent_labels`
+  — the Lemma 3.6 construction (functional graph on labels, cycle cutting,
+  component duplication, global root),
+* :func:`~repro.universal.universal_tree.universal_tree_for_small_n` —
+  drives the construction over every rooted tree on up to ``n`` nodes,
+* :mod:`repro.universal.embedding` — subtree-embedding checks used to verify
+  universality,
+* :mod:`repro.universal.goldberg` — the Lemma 3.7 size formulas.
+"""
+
+from repro.universal.embedding import embeds_as_rooted_subtree
+from repro.universal.goldberg import (
+    goldberg_livshits_log2_size,
+    lemma_3_6_size_bound,
+    level_ancestor_lower_bound_bits,
+)
+from repro.universal.universal_tree import (
+    all_rooted_trees,
+    universal_tree_for_small_n,
+    universal_tree_from_parent_labels,
+)
+
+__all__ = [
+    "universal_tree_from_parent_labels",
+    "universal_tree_for_small_n",
+    "all_rooted_trees",
+    "embeds_as_rooted_subtree",
+    "goldberg_livshits_log2_size",
+    "lemma_3_6_size_bound",
+    "level_ancestor_lower_bound_bits",
+]

@@ -1,0 +1,57 @@
+"""Size formulas for universal rooted trees (Lemma 3.7 and Theorem 1.2).
+
+Goldberg and Livshits construct a universal rooted tree of size
+``n^{(log n - 2 log log n + O(1)) / 2}``; Chung, Graham and Coppersmith show
+this is optimal up to the O(1) term.  Combined with Lemma 3.6, any parent
+(hence level-ancestor) labeling scheme needs labels of at least
+``1/2 log² n - log n log log n`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def goldberg_livshits_log2_size(n: int, constant: float = 0.0) -> float:
+    """``log2`` of the minimal universal rooted tree size for trees on n nodes.
+
+    Equals ``log n * (log n - 2 log log n + constant) / 2``; the unknown
+    additive constant of Lemma 3.7 is exposed as a parameter.
+    """
+    if n < 2:
+        return 0.0
+    log_n = math.log2(n)
+    log_log_n = math.log2(max(log_n, 1.0))
+    return log_n * (log_n - 2 * log_log_n + constant) / 2
+
+
+def lemma_3_6_size_bound(label_bits: int) -> int:
+    """Upper bound on universal tree size implied by an S-bit parent scheme."""
+    return 2 * (1 << label_bits) + 1
+
+
+def level_ancestor_lower_bound_bits(n: int) -> float:
+    """Theorem 1.2: lower bound on parent / level-ancestor label length."""
+    if n < 2:
+        return 0.0
+    log_n = math.log2(n)
+    log_log_n = math.log2(max(log_n, 1.0))
+    return 0.5 * log_n * log_n - log_n * log_log_n
+
+
+def minimal_universal_tree_size_brute_force(n: int, max_size: int) -> int | None:
+    """Size of the smallest universal rooted tree for trees on <= n nodes.
+
+    Exhaustively searches candidate host trees by increasing size (candidates
+    are generated as increasing parent arrays).  Exponential; intended for
+    tiny ``n`` (<= 4) in tests and demonstrations.
+    """
+    from repro.universal.embedding import embeds_as_rooted_subtree
+    from repro.universal.universal_tree import all_rooted_trees, all_rooted_trees_up_to
+
+    targets = list(all_rooted_trees_up_to(n))
+    for size in range(n, max_size + 1):
+        for candidate in all_rooted_trees(size):
+            if all(embeds_as_rooted_subtree(target, candidate) for target in targets):
+                return size
+    return None

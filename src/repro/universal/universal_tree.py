@@ -1,0 +1,218 @@
+"""Lemma 3.6: from parent labels to a universal rooted tree.
+
+Given a parent labeling scheme, consider the directed graph ``G`` whose
+vertices are all labels the scheme can produce (over every rooted tree on up
+to ``n`` nodes) and whose edges point from each label to the label of its
+parent.  Every out-degree is at most one, so each weakly connected component
+is either a tree (rooted at a label whose parent query answers "root") or
+contains exactly one directed cycle.  The lemma turns ``G`` into a rooted
+tree ``G'`` of at most ``2|V| + 1`` nodes that contains every rooted tree on
+up to ``n`` nodes as a subtree:
+
+* in a component with a cycle, delete one cycle edge ``(u, v)``, duplicate
+  the whole component and add the edge ``(u, v')`` to the copy,
+* finally add a single global root above all component roots.
+
+The construction here follows the proof verbatim; :mod:`repro.universal.embedding`
+verifies universality on small ``n`` by embedding every rooted tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.level_ancestor import LevelAncestorScheme
+from repro.trees.tree import RootedTree
+
+
+def all_rooted_trees(n: int) -> Iterator[RootedTree]:
+    """Every rooted tree on exactly ``n`` nodes (as increasing parent arrays).
+
+    Every rooted tree can be relabelled so that each node's parent has a
+    smaller identifier, so enumerating all parent arrays with
+    ``parent[i] < i`` covers every isomorphism class (with repetitions).
+    """
+    if n <= 0:
+        return
+    if n == 1:
+        yield RootedTree([None])
+        return
+
+    parents: list[int | None] = [None] * n
+
+    def fill(position: int) -> Iterator[RootedTree]:
+        if position == n:
+            yield RootedTree(list(parents))
+            return
+        for parent in range(position):
+            parents[position] = parent
+            yield from fill(position + 1)
+
+    yield from fill(1)
+
+
+def all_rooted_trees_up_to(n: int) -> Iterator[RootedTree]:
+    """Every rooted tree on 1..n nodes."""
+    for size in range(1, n + 1):
+        yield from all_rooted_trees(size)
+
+
+@dataclass
+class UniversalTreeResult:
+    """Outcome of the Lemma 3.6 construction."""
+
+    tree: RootedTree
+    #: map from label key to the node representing it (first copy)
+    node_of_label: dict[Hashable, int]
+    #: number of labels observed (|V| in the lemma)
+    label_count: int
+    #: number of weakly connected components that contained a cycle
+    cycles_cut: int
+
+
+def universal_tree_from_parent_labels(
+    labels_and_parents: Iterable[tuple[Hashable, Hashable | None]],
+) -> UniversalTreeResult:
+    """Lemma 3.6 construction from (label, parent-label-or-None) pairs."""
+    parent_of: dict[Hashable, Hashable | None] = {}
+    assigned: set[Hashable] = set()
+    for label, parent in labels_and_parents:
+        if label in assigned and parent_of[label] != parent:
+            raise ValueError(f"label {label!r} maps to two different parents")
+        parent_of[label] = parent
+        assigned.add(label)
+        if parent is not None and parent not in parent_of:
+            # seen only as a parent so far; treated as a root unless a later
+            # pair assigns it a parent of its own
+            parent_of[parent] = None
+
+    # assign an integer to every label (first copy)
+    index_of: dict[Hashable, int] = {}
+    for label in parent_of:
+        index_of[label] = len(index_of)
+
+    size = len(index_of)
+    parent_index: list[int | None] = [None] * size
+    for label, parent in parent_of.items():
+        if parent is not None:
+            parent_index[index_of[label]] = index_of[parent]
+
+    # find components and cycles (functional graph: out-degree <= 1)
+    component = [-1] * size
+    components: list[list[int]] = []
+    for start in range(size):
+        if component[start] != -1:
+            continue
+        # walk up until a visited node or a root; collect the walked chain
+        chain = []
+        node: int | None = start
+        while node is not None and component[node] == -1:
+            component[node] = -2  # in progress
+            chain.append(node)
+            node = parent_index[node]
+        if node is None or component[node] == -2:
+            component_id = len(components)
+            components.append([])
+        else:
+            component_id = component[node]
+        for walked in chain:
+            component[walked] = component_id
+    # re-collect membership
+    components = [[] for _ in range(max(component) + 1)] if size else []
+    for node in range(size):
+        components[component[node]].append(node)
+
+    # detect the unique cycle of each component (if any) and cut one edge
+    next_free = size
+    extra_parents: dict[int, int | None] = {}
+    duplicate_of: dict[int, int] = {}
+    cycles_cut = 0
+    cut_edges: list[tuple[int, int]] = []
+
+    for members in components:
+        cycle = _find_cycle(members, parent_index)
+        if not cycle:
+            continue
+        cycles_cut += 1
+        # cut the edge from the last cycle node back into the cycle
+        cut_from = cycle[-1]
+        cut_to = parent_index[cut_from]
+        assert cut_to is not None
+        cut_edges.append((cut_from, cut_to))
+        # duplicate the whole component
+        for node in members:
+            duplicate_of[node] = next_free
+            next_free += 1
+        for node in members:
+            original_parent = parent_index[node]
+            if node == cut_from:
+                original_parent = None  # the cut is re-established below
+            if original_parent is None or original_parent not in duplicate_of:
+                extra_parents[duplicate_of[node]] = None
+            else:
+                extra_parents[duplicate_of[node]] = duplicate_of[original_parent]
+
+    # apply the cuts to the originals and wire them into the duplicates
+    for cut_from, cut_to in cut_edges:
+        parent_index[cut_from] = duplicate_of[cut_to]
+
+    total = next_free + 1  # plus the global root
+    global_root = next_free
+    parents: list[int | None] = [None] * total
+    for node in range(size):
+        parents[node] = parent_index[node] if parent_index[node] is not None else global_root
+    for node, parent in extra_parents.items():
+        parents[node] = parent if parent is not None else global_root
+    parents[global_root] = None
+
+    return UniversalTreeResult(
+        tree=RootedTree(parents),
+        node_of_label={label: index for label, index in index_of.items()},
+        label_count=size,
+        cycles_cut=cycles_cut,
+    )
+
+
+def _find_cycle(members: list[int], parent_index: list[int | None]) -> list[int]:
+    """Return the nodes of the unique directed cycle in a component (or [])."""
+    member_set = set(members)
+    visited: set[int] = set()
+    for start in members:
+        if start in visited:
+            continue
+        path: list[int] = []
+        position: dict[int, int] = {}
+        node: int | None = start
+        while node is not None and node in member_set:
+            if node in position:
+                return path[position[node]:]
+            if node in visited:
+                break
+            position[node] = len(path)
+            path.append(node)
+            visited.add(node)
+            node = parent_index[node]
+    return []
+
+
+def universal_tree_for_small_n(
+    n: int, scheme: LevelAncestorScheme | None = None
+) -> UniversalTreeResult:
+    """Run Lemma 3.6 over every rooted tree on up to ``n`` nodes.
+
+    The parent labeling scheme defaults to the Section 3.6
+    :class:`~repro.core.level_ancestor.LevelAncestorScheme`.  The number of
+    trees grows as (n-1)!, so this is intended for small ``n`` (≤ 8).
+    """
+    if scheme is None:
+        scheme = LevelAncestorScheme()
+
+    def pairs() -> Iterator[tuple[Hashable, Hashable | None]]:
+        for tree in all_rooted_trees_up_to(n):
+            labels = scheme.encode(tree)
+            for node, label in labels.items():
+                parent_label = scheme.parent(label)
+                yield label.key(), None if parent_label is None else parent_label.key()
+
+    return universal_tree_from_parent_labels(pairs())

@@ -1,0 +1,91 @@
+"""Tests for size-weighted prefix-free codes (light codes)."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.encoding.alphabetic import (
+    SizeWeightedCode,
+    codeword_length_bound,
+    common_codeword_prefix,
+    path_identifier,
+)
+from repro.encoding.bitio import Bits
+
+
+def is_prefix(a: Bits, b: Bits) -> bool:
+    return len(a) <= len(b) and b.data.startswith(a.data)
+
+
+class TestSizeWeightedCode:
+    def test_empty(self):
+        assert len(SizeWeightedCode([])) == 0
+
+    def test_single_child(self):
+        code = SizeWeightedCode([10])
+        assert len(code.codeword(0)) >= 1
+
+    def test_codewords_are_distinct_and_prefix_free(self):
+        code = SizeWeightedCode([5, 1, 9, 2, 2])
+        words = code.codewords
+        for i in range(len(words)):
+            for j in range(len(words)):
+                if i == j:
+                    continue
+                assert not is_prefix(words[i], words[j])
+
+    def test_length_respects_weight(self):
+        """Heavier children receive shorter (or equal) codewords."""
+        code = SizeWeightedCode([100, 1])
+        assert len(code.codeword(0)) <= len(code.codeword(1))
+
+    def test_length_bound(self):
+        weights = [7, 3, 3, 1, 1, 1]
+        total = sum(weights)
+        code = SizeWeightedCode(weights)
+        for index, weight in enumerate(weights):
+            assert len(code.codeword(index)) <= math.ceil(math.log2(total / weight)) + 2
+            assert len(code.codeword(index)) <= codeword_length_bound(total, weight) + 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=40))
+    def test_prefix_free_property(self, weights):
+        code = SizeWeightedCode(weights)
+        words = code.codewords
+        assert len({word.data for word in words}) == len(words)
+        for i in range(len(words)):
+            for j in range(len(words)):
+                if i != j:
+                    assert not is_prefix(words[i], words[j])
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=40))
+    def test_kraft_inequality(self, weights):
+        code = SizeWeightedCode(weights)
+        kraft = sum(2.0 ** (-len(word)) for word in code.codewords)
+        assert kraft <= 1.0 + 1e-9
+
+
+class TestPathIdentifiers:
+    def test_path_identifier_concatenates(self):
+        words = [Bits("10"), Bits("0"), Bits("111")]
+        assert path_identifier(words).data == "100111"
+
+    def test_common_codeword_prefix(self):
+        a = [Bits("10"), Bits("0"), Bits("111")]
+        b = [Bits("10"), Bits("0"), Bits("110")]
+        c = [Bits("11")]
+        assert common_codeword_prefix(a, b) == 2
+        assert common_codeword_prefix(a, a) == 3
+        assert common_codeword_prefix(a, c) == 0
+        assert common_codeword_prefix(a, a[:1]) == 1
+
+    def test_telescoping_total_length(self):
+        """Along a size-halving chain the total codeword length is O(log total)."""
+        total = 2**12
+        lengths = 0
+        size = total
+        while size > 1:
+            child = size // 2
+            code = SizeWeightedCode([child, size - child])
+            lengths += len(code.codeword(0))
+            size = child
+        assert lengths <= 3 * math.log2(total) + 10

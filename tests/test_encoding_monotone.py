@@ -1,0 +1,94 @@
+"""Tests for the Lemma 2.2 monotone sequence encoder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding.bitio import BitReader, BitWriter
+from repro.encoding.monotone import MonotoneSequence, UnaryBitVectorView
+
+from conftest import monotone_sequences
+
+
+class TestMonotoneSequence:
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            MonotoneSequence([3, 2])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MonotoneSequence([-1, 2])
+
+    def test_empty_sequence(self):
+        sequence = MonotoneSequence([])
+        assert len(sequence) == 0
+        assert MonotoneSequence.from_bits(sequence.bits).to_list() == []
+
+    def test_access(self):
+        sequence = MonotoneSequence([0, 0, 3, 7, 7, 20])
+        assert sequence[0] == 0
+        assert sequence[2] == 3
+        assert sequence[5] == 20
+
+    def test_successor(self):
+        sequence = MonotoneSequence([1, 4, 4, 9, 30])
+        assert sequence.successor_position(0) == 0
+        assert sequence.successor_position(1) == 0
+        assert sequence.successor_position(2) == 1
+        assert sequence.successor_position(4) == 1
+        assert sequence.successor_position(10) == 4
+        assert sequence.successor_position(31) is None
+
+    def test_common_suffix_of_prefixes(self):
+        a = MonotoneSequence([1, 2, 3, 5, 8])
+        b = MonotoneSequence([0, 2, 3, 5, 9])
+        # prefixes [1,2,3,5] and [0,2,3,5] share the suffix [2,3,5]
+        assert a.common_suffix_of_prefixes(b, 4, 4) == 3
+        # full prefixes end with 8 vs 9: no common suffix
+        assert a.common_suffix_of_prefixes(b, 5, 5) == 0
+
+    def test_common_suffix_bounds_checked(self):
+        a = MonotoneSequence([1, 2])
+        with pytest.raises(IndexError):
+            a.common_suffix_of_prefixes(a, 3, 1)
+
+    @given(monotone_sequences())
+    def test_round_trip_property(self, values):
+        sequence = MonotoneSequence(values)
+        decoded = MonotoneSequence.from_bits(sequence.bits)
+        assert decoded.to_list() == values
+
+    @given(monotone_sequences())
+    def test_embedded_round_trip_property(self, values):
+        """The encoding is self-delimiting inside a larger stream."""
+        writer = BitWriter()
+        MonotoneSequence(values).write(writer)
+        writer.write_bits("10110")
+        reader = BitReader(writer.getvalue())
+        assert MonotoneSequence.read(reader).to_list() == values
+        assert reader.read_bits(5).data == "10110"
+
+    @given(monotone_sequences(), st.integers(min_value=0, max_value=600))
+    def test_successor_property(self, values, query):
+        sequence = MonotoneSequence(values)
+        position = sequence.successor_position(query)
+        expected = next((i for i, v in enumerate(values) if v >= query), None)
+        assert position == expected
+
+    @given(monotone_sequences(max_length=30, max_value=100))
+    def test_size_bound(self, values):
+        """Size stays O(s * max(1, log(M/s))) with a modest constant."""
+        sequence = MonotoneSequence(values)
+        s = max(len(values), 1)
+        maximum = max(values) if values else 0
+        import math
+
+        per_element = max(1.0, math.log2(max(maximum, 1) / s + 1) + 1)
+        assert sequence.bit_length() <= 6 * s * per_element + 32
+
+
+class TestUnaryBitVectorView:
+    def test_high_values_recovered_by_select(self):
+        values = [0, 3, 9, 9, 31]
+        view = UnaryBitVectorView(values, low_width=1)
+        for index, value in enumerate(values):
+            assert view.high_value(index) == value >> 1

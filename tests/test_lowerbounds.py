@@ -1,0 +1,261 @@
+"""Tests for the lower-bound instance families and the bound formulas."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freedman import FreedmanScheme
+from repro.core.kdistance import KDistanceScheme
+from repro.lowerbounds.bounds import (
+    approx_bound_bits,
+    exact_lower_bound_bits,
+    exact_upper_bound_bits,
+    kdistance_large_bound_bits,
+    kdistance_small_lower_bound_bits,
+    kdistance_small_upper_bound_bits,
+    summary_table,
+    universal_tree_scheme_lower_bound_bits,
+)
+from repro.lowerbounds.hm_trees import (
+    build_hm_tree,
+    distinct_profile_count,
+    enumerate_parameter_vectors,
+    hm_parameter_count,
+    hm_tree_size,
+    lemma_2_3_bound_bits,
+    leaf_distance_profile,
+    random_hm_parameters,
+    subdivide_to_unweighted,
+)
+from repro.lowerbounds.regular_trees import (
+    build_regular_tree,
+    common_labels_upper_bound,
+    exact_pairwise_common_sum,
+    lemma_4_1_total_bound,
+    regular_tree_leaf_count,
+    regular_tree_size,
+    small_k_lower_bound_bits,
+)
+from repro.lowerbounds.stretched_trees import (
+    build_stretched_hm_tree,
+    stretch_factor,
+    stretched_distance,
+    stretched_intervals_disjoint,
+)
+from repro.oracles.distance_matrix import DistanceMatrix
+from repro.oracles.exact_oracle import TreeDistanceOracle
+
+
+class TestHMTrees:
+    def test_parameter_count_and_size(self):
+        assert hm_parameter_count(3) == 7
+        assert hm_tree_size(3) == 22
+        instance = build_hm_tree(3, 5, random_hm_parameters(3, 5, seed=1))
+        assert instance.tree.n == 22
+        assert len(instance.leaves) == 8
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            build_hm_tree(2, 4, [0, 1])
+        with pytest.raises(ValueError):
+            build_hm_tree(2, 4, [0, 1, 4])
+        with pytest.raises(ValueError):
+            build_hm_tree(2, 0, [])
+
+    def test_leaves_equidistant_from_root(self):
+        """In an (h, M)-tree every root-to-leaf path has weight exactly h*M."""
+        for h, M in [(1, 3), (2, 4), (3, 5)]:
+            instance = build_hm_tree(h, M, random_hm_parameters(h, M, seed=2))
+            for leaf in instance.leaves:
+                assert instance.tree.root_distance(leaf) == h * M
+
+    def test_leaf_distances_are_even_and_bounded(self):
+        instance = build_hm_tree(3, 4, random_hm_parameters(3, 4, seed=3))
+        matrix = DistanceMatrix(instance.tree)
+        for a in instance.leaves:
+            for b in instance.leaves:
+                if a != b:
+                    assert matrix.distance(a, b) % 2 == 0
+                    assert matrix.distance(a, b) <= 2 * 3 * 4
+
+    def test_subdivision_preserves_leaf_distances(self):
+        instance = build_hm_tree(2, 5, [1, 3, 0])
+        unweighted, image = subdivide_to_unweighted(instance.tree)
+        assert unweighted.is_unit_weighted()
+        original = DistanceMatrix(instance.tree)
+        new = DistanceMatrix(unweighted)
+        for a in instance.leaves:
+            for b in instance.leaves:
+                assert original.distance(a, b) == new.distance(image[a], image[b])
+
+    def test_lemma_2_3_bound(self):
+        assert lemma_2_3_bound_bits(4, 16) == 8
+        assert lemma_2_3_bound_bits(4, 1) == 0
+
+    def test_parameter_enumeration(self):
+        vectors = list(enumerate_parameter_vectors(1, 3))
+        assert vectors == [[0], [1], [2]]
+        assert len(list(enumerate_parameter_vectors(2, 2))) == 8
+        assert len(list(enumerate_parameter_vectors(2, 2, limit=5))) == 5
+
+    def test_distinct_profiles_force_many_labels(self):
+        """Counting companion of Lemma 2.3: with h=1 each of the M parameter
+        choices produces a distinct leaf-distance profile."""
+        assert distinct_profile_count(1, 4) == 4
+        assert distinct_profile_count(2, 2) >= 4
+
+    def test_profiles_determine_parameters_h1(self):
+        profiles = {}
+        for vector in enumerate_parameter_vectors(1, 5):
+            profile = leaf_distance_profile(build_hm_tree(1, 5, vector))
+            assert profile not in profiles
+            profiles[profile] = vector
+
+    def test_freedman_labels_respect_lemma_2_3(self):
+        """Our upper-bound labels on subdivided (h, M)-trees are of course at
+        least as long as the information-theoretic lower bound."""
+        for h, M in [(2, 8), (3, 8), (4, 16)]:
+            instance = build_hm_tree(h, M, random_hm_parameters(h, M, seed=4))
+            unweighted, image = subdivide_to_unweighted(instance.tree)
+            labels = FreedmanScheme().encode(unweighted)
+            leaf_bits = max(labels[image[leaf]].bit_length() for leaf in instance.leaves)
+            assert leaf_bits >= lemma_2_3_bound_bits(h, M)
+
+
+class TestRegularTrees:
+    def test_leaf_count_independent_of_x(self):
+        for x in ([1, 2], [2, 2], [2, 1]):
+            tree = build_regular_tree(x, h=2, d=2)
+            leaves = [v for v in tree.nodes() if tree.is_leaf(v)]
+            assert len(leaves) == regular_tree_leaf_count(2, 2, 2) == 16
+
+    def test_size_formula(self):
+        x = [1, 2]
+        tree = build_regular_tree(x, h=2, d=2)
+        assert tree.n == regular_tree_size(x, 2, 2)
+
+    def test_degrees_follow_vector(self):
+        tree = build_regular_tree([1], h=3, d=2)
+        # depth-0 nodes have degree d^1 = 2, depth-1 nodes degree d^{3-1} = 4
+        assert tree.degree(tree.root) == 2
+        for child in tree.children(tree.root):
+            assert tree.degree(child) == 4
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(ValueError):
+            build_regular_tree([0], h=2, d=2)
+        with pytest.raises(ValueError):
+            build_regular_tree([3], h=2, d=2)
+
+    def test_lemma_4_1_bound_dominates_exact_sum(self):
+        for h, d, k in [(2, 2, 1), (2, 2, 2), (3, 2, 1), (2, 3, 2), (3, 3, 1)]:
+            assert exact_pairwise_common_sum(h, d, k) <= lemma_4_1_total_bound(h, d, k) + 1e-6
+
+    def test_common_labels_upper_bound_symmetric(self):
+        assert common_labels_upper_bound([1, 2], [2, 1], 2, 2) == common_labels_upper_bound(
+            [2, 1], [1, 2], 2, 2
+        )
+
+    def test_common_bound_maximised_on_equal_vectors(self):
+        same = common_labels_upper_bound([2, 2], [2, 2], 3, 2)
+        different = common_labels_upper_bound([2, 2], [1, 3], 3, 2)
+        assert same >= different
+
+    def test_kdistance_labels_on_regular_trees(self):
+        tree = build_regular_tree([1, 2], h=2, d=2)
+        oracle = TreeDistanceOracle(tree)
+        scheme = KDistanceScheme(4)
+        labels = scheme.encode(tree)
+        rng = random.Random(0)
+        for _ in range(200):
+            u, v = rng.randrange(tree.n), rng.randrange(tree.n)
+            expected = oracle.distance(u, v)
+            expected = expected if expected <= 4 else None
+            assert scheme.bounded_distance(labels[u], labels[v]) == expected
+
+    def test_small_k_lower_bound_shape(self):
+        assert small_k_lower_bound_bits(1 << 20, 2) > math.log2(1 << 20)
+        assert small_k_lower_bound_bits(2, 1) == 0.0
+
+
+class TestStretchedTrees:
+    def test_stretch_factor(self):
+        assert stretch_factor(1.0, 3) == 8
+        assert stretch_factor(0.5, 0) == 1
+
+    def test_stretched_distance_monotone(self):
+        for eps in (1.0, 0.5, 0.1):
+            values = [stretched_distance(j, eps) for j in range(1, 10)]
+            assert values == sorted(values)
+            assert all(v > 0 for v in values)
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_intervals_disjoint_property(self, eps):
+        """Section 5.1: the (1+eps)-blown-up intervals never overlap."""
+        assert stretched_intervals_disjoint(eps, max_j=25)
+
+    def test_build_stretched_tree_distances(self):
+        h, M, eps = 2, 2, 1.0
+        parameters = [1, 0, 1]
+        stretched, leaf_images = build_stretched_hm_tree(h, M, parameters, eps)
+        assert stretched.is_unit_weighted()
+        # leaves at original distance 2j must now be at distance f(j)
+        instance = build_hm_tree(h, M, parameters)
+        original = DistanceMatrix(instance.tree)
+        new = DistanceMatrix(stretched)
+        for i, a in enumerate(instance.leaves):
+            for j, b in enumerate(instance.leaves):
+                if a == b:
+                    continue
+                original_halved = original.distance(a, b) // 2
+                assert new.distance(leaf_images[i], leaf_images[j]) == stretched_distance(
+                    original_halved, eps
+                )
+
+    def test_approximation_reveals_exact_distance(self):
+        """A (1+eps)-approximate answer on the stretched tree identifies the
+        original distance because the intervals are disjoint."""
+        eps = 0.5
+        values = [stretched_distance(j, eps) for j in range(1, 15)]
+        for j, value in enumerate(values, start=1):
+            blurred = value * (1 + eps)
+            matches = [jj for jj, v in enumerate(values, start=1) if v <= blurred and blurred < (values[jj] if jj < len(values) else float("inf"))]
+            assert j in matches
+            assert all(m <= j for m in matches) or matches == [j]
+
+
+class TestBoundFormulas:
+    def test_exact_bounds_ordering(self):
+        for n in (1 << 10, 1 << 16, 1 << 24):
+            assert exact_lower_bound_bits(n) <= exact_upper_bound_bits(n)
+            # the separation from universal-tree schemes kicks in for large n
+            if n >= (1 << 24):
+                assert exact_upper_bound_bits(n) < universal_tree_scheme_lower_bound_bits(n)
+
+    def test_separation_asymptotics(self):
+        """1/4 log² n eventually beats the universal-tree barrier."""
+        n = 1 << 40
+        assert exact_upper_bound_bits(n) < universal_tree_scheme_lower_bound_bits(n)
+
+    def test_kdistance_regimes(self):
+        n = 1 << 16
+        assert kdistance_small_upper_bound_bits(n, 2) >= math.log2(n)
+        assert kdistance_small_lower_bound_bits(n, 2) >= math.log2(n)
+        assert kdistance_large_bound_bits(n, 16 * 16) > 0
+
+    def test_approx_bound_monotone_in_inverse_eps(self):
+        n = 1 << 16
+        assert approx_bound_bits(n, 0.01) > approx_bound_bits(n, 0.1) > 0
+        with pytest.raises(ValueError):
+            approx_bound_bits(n, 0.0)
+
+    def test_summary_table_contains_all_rows(self):
+        table = summary_table(1 << 12, 4, 0.5)
+        assert "exact" in table and "approximate" in table
+        assert any(key.startswith("k-distance") for key in table)
+        table_large = summary_table(1 << 12, 1 << 10, 0.5)
+        assert any("k >= log n" in key for key in table_large)

@@ -1,0 +1,185 @@
+"""Tests for the ground-truth oracles and the workload generators."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.generators.random_trees import (
+    random_binary_tree,
+    random_caterpillar,
+    random_prufer_tree,
+    random_recursive_tree,
+    random_weighted_tree,
+)
+from repro.generators.structured import (
+    balanced_binary_tree,
+    broom_tree,
+    caterpillar_tree,
+    comb_tree,
+    path_tree,
+    spider_tree,
+    star_tree,
+)
+from repro.generators.workloads import FAMILIES, all_pairs, make_tree, near_pairs, random_pairs
+from repro.oracles.distance_matrix import DistanceMatrix
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.trees.tree import RootedTree
+
+from conftest import weighted_trees
+
+
+class TestDistanceMatrix:
+    def test_matches_oracle(self, any_tree):
+        matrix = DistanceMatrix(any_tree)
+        oracle = TreeDistanceOracle(any_tree)
+        for u in any_tree.nodes():
+            for v in any_tree.nodes():
+                assert matrix.distance(u, v) == oracle.distance(u, v)
+
+    def test_symmetry_and_diagonal(self, any_tree):
+        matrix = DistanceMatrix(any_tree)
+        for u in any_tree.nodes():
+            assert matrix.distance(u, u) == 0
+            for v in any_tree.nodes():
+                assert matrix.distance(u, v) == matrix.distance(v, u)
+
+    @given(weighted_trees(max_nodes=15))
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_distances(self, tree):
+        matrix = DistanceMatrix(tree)
+        oracle = TreeDistanceOracle(tree)
+        for u in tree.nodes():
+            for v in tree.nodes():
+                assert matrix.distance(u, v) == oracle.distance(u, v)
+
+    def test_diameter_and_profiles(self):
+        tree = path_tree(6)
+        matrix = DistanceMatrix(tree)
+        assert matrix.diameter() == 5
+        profile = matrix.leaf_profile([0, 5])
+        assert profile == ((0, 5), (5, 0))
+
+
+class TestExactOracle:
+    def test_triangle_equality_through_lca(self, any_tree):
+        oracle = TreeDistanceOracle(any_tree)
+        rng = random.Random(0)
+        for _ in range(50):
+            u = rng.randrange(any_tree.n)
+            v = rng.randrange(any_tree.n)
+            lca = oracle.lca(u, v)
+            assert oracle.distance(u, v) == oracle.distance(u, lca) + oracle.distance(lca, v)
+
+    def test_level_ancestor(self):
+        tree = path_tree(10)
+        oracle = TreeDistanceOracle(tree)
+        assert oracle.level_ancestor(9, 3) == 6
+        assert oracle.level_ancestor(2, 5) is None
+
+    def test_hop_distance_equals_weighted_for_unit_trees(self, any_tree):
+        oracle = TreeDistanceOracle(any_tree)
+        rng = random.Random(1)
+        for _ in range(30):
+            u, v = rng.randrange(any_tree.n), rng.randrange(any_tree.n)
+            assert oracle.distance(u, v) == oracle.hop_distance(u, v)
+
+    def test_eccentricity_path(self):
+        oracle = TreeDistanceOracle(path_tree(8))
+        assert oracle.eccentricity(0) == 7
+        assert oracle.eccentricity(4) == 4
+
+
+class TestStructuredGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 33])
+    def test_sizes(self, n):
+        for builder in (path_tree, star_tree, caterpillar_tree, balanced_binary_tree,
+                        broom_tree, comb_tree):
+            assert builder(n).n == n
+        assert spider_tree(n, legs=3).n == n
+
+    def test_path_shape(self):
+        tree = path_tree(5)
+        assert tree.height() == 4
+        assert len(tree.leaves()) == 1
+
+    def test_star_shape(self):
+        tree = star_tree(7)
+        assert tree.height() == 1
+        assert len(tree.leaves()) == 6
+
+    def test_balanced_binary_height(self):
+        tree = balanced_binary_tree(31)
+        assert tree.height() == 4
+        assert all(tree.degree(v) <= 2 for v in tree.nodes())
+
+    def test_spider_legs(self):
+        tree = spider_tree(13, legs=4)
+        assert tree.degree(0) == 4
+
+    def test_rejects_nonpositive(self):
+        for builder in (path_tree, star_tree, caterpillar_tree, balanced_binary_tree):
+            with pytest.raises(ValueError):
+                builder(0)
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 64])
+    def test_sizes_and_validity(self, n):
+        assert random_prufer_tree(n, seed=1).n == n
+        assert random_recursive_tree(n, seed=1).n == n
+        assert random_caterpillar(n, seed=1).n == n
+        binary = random_binary_tree(n, seed=1)
+        assert binary.n == n
+        assert all(binary.degree(v) <= 2 for v in binary.nodes())
+
+    def test_determinism(self):
+        a = random_prufer_tree(40, seed=11)
+        b = random_prufer_tree(40, seed=11)
+        assert [a.parent(v) for v in a.nodes()] == [b.parent(v) for v in b.nodes()]
+
+    def test_different_seeds_differ(self):
+        a = random_prufer_tree(60, seed=1)
+        b = random_prufer_tree(60, seed=2)
+        assert [a.parent(v) for v in a.nodes()] != [b.parent(v) for v in b.nodes()]
+
+    def test_weighted_tree_weights_in_range(self):
+        tree = random_weighted_tree(30, max_weight=5, seed=3)
+        assert all(0 <= tree.edge_weight(v) <= 5 for v in tree.nodes())
+
+    def test_prufer_uniformity_smoke(self):
+        """All 3 labelled trees on 3 nodes appear across seeds."""
+        shapes = set()
+        for seed in range(60):
+            tree = random_prufer_tree(3, seed=seed)
+            shapes.add(tuple(tree.parent(v) for v in tree.nodes()))
+        assert len(shapes) == 3
+
+
+class TestWorkloads:
+    def test_family_registry(self):
+        for name in FAMILIES:
+            tree = make_tree(name, 25, seed=0)
+            assert tree.n == 25
+        with pytest.raises(KeyError):
+            make_tree("unknown", 10)
+
+    def test_random_pairs(self):
+        tree = make_tree("random", 30, seed=0)
+        pairs = random_pairs(tree, 50, seed=1)
+        assert len(pairs) == 50
+        assert all(0 <= u < 30 and 0 <= v < 30 for u, v in pairs)
+
+    def test_all_pairs(self):
+        tree = make_tree("path", 5)
+        assert len(all_pairs(tree)) == 25
+
+    def test_near_pairs_are_biased(self):
+        tree = make_tree("random", 200, seed=0)
+        oracle = TreeDistanceOracle(tree)
+        close = near_pairs(tree, 100, max_distance=3, seed=2)
+        uniform = random_pairs(tree, 100, seed=2)
+        close_avg = sum(oracle.distance(u, v) for u, v in close) / 100
+        uniform_avg = sum(oracle.distance(u, v) for u, v in uniform) / 100
+        assert close_avg < uniform_avg

@@ -1,0 +1,57 @@
+"""Top-level package API tests (the quickstart contract of the README)."""
+
+import repro
+from repro import (
+    AlstrupScheme,
+    FreedmanScheme,
+    KDistanceScheme,
+    ApproximateScheme,
+    RootedTree,
+    TreeDistanceOracle,
+    random_prufer_tree,
+    tree_from_edges,
+    tree_from_parents,
+)
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_readme_quickstart(self):
+        tree = random_prufer_tree(200, seed=7)
+        scheme = FreedmanScheme()
+        labels = scheme.encode(tree)
+        oracle = TreeDistanceOracle(tree)
+        assert scheme.distance(labels[3], labels[42]) == oracle.distance(3, 42)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_builders_exported(self):
+        tree = tree_from_parents([None, 0, 0])
+        assert isinstance(tree, RootedTree)
+        tree = tree_from_edges(3, [(0, 1), (1, 2)])
+        assert tree.n == 3
+
+    def test_every_headline_scheme_usable(self):
+        tree = random_prufer_tree(60, seed=1)
+        oracle = TreeDistanceOracle(tree)
+
+        exact = AlstrupScheme()
+        labels = exact.encode(tree)
+        assert exact.distance(labels[1], labels[2]) == oracle.distance(1, 2)
+
+        bounded = KDistanceScheme(3)
+        blabels = bounded.encode(tree)
+        expected = oracle.distance(1, 2)
+        assert bounded.bounded_distance(blabels[1], blabels[2]) == (
+            expected if expected <= 3 else None
+        )
+
+        approx = ApproximateScheme(0.5)
+        alabels = approx.encode(tree)
+        answer = approx.approximate_distance(alabels[1], alabels[2])
+        assert oracle.distance(1, 2) <= answer <= 1.5 * oracle.distance(1, 2) + 1e-9

@@ -1,0 +1,89 @@
+"""Tests for the succinct support structures (bit vector, predecessor)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.predecessor import PredecessorStructure
+
+
+class TestBitVector:
+    def test_basic_rank_select(self):
+        vector = BitVector("10110100")
+        assert vector.ones == 4
+        assert vector.rank1(0) == 0
+        assert vector.rank1(3) == 2
+        assert vector.rank1(8) == 4
+        assert vector.rank0(8) == 4
+        assert vector.select1(1) == 0
+        assert vector.select1(3) == 3
+        assert vector.select0(1) == 1
+        assert vector.select0(4) == 7
+
+    def test_out_of_range(self):
+        vector = BitVector("101")
+        with pytest.raises(IndexError):
+            vector.rank1(4)
+        with pytest.raises(IndexError):
+            vector.select1(3)
+        with pytest.raises(IndexError):
+            vector.select0(2)
+
+    def test_accepts_lists_and_bits(self):
+        from repro.encoding.bitio import Bits
+
+        assert BitVector([1, 0, 1]).ones == 2
+        assert BitVector(Bits("001")).ones == 1
+        assert BitVector("").ones == 0
+
+    def test_rejects_bad_characters(self):
+        with pytest.raises(ValueError):
+            BitVector("012")
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=400))
+    def test_rank_matches_naive(self, bits):
+        vector = BitVector(bits)
+        prefix = 0
+        for position, bit in enumerate(bits):
+            assert vector.rank1(position) == prefix
+            prefix += bit
+        assert vector.rank1(len(bits)) == prefix
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=400))
+    def test_select_inverts_rank(self, bits):
+        vector = BitVector(bits)
+        for k in range(1, vector.ones + 1):
+            position = vector.select1(k)
+            assert bits[position] == 1
+            assert vector.rank1(position + 1) == k
+
+
+class TestPredecessorStructure:
+    def test_empty(self):
+        structure = PredecessorStructure([])
+        assert structure.successor(5) is None
+        assert structure.predecessor(5) is None
+
+    def test_basic_queries(self):
+        structure = PredecessorStructure([3, 7, 7, 20, 41])
+        assert structure.successor(0) == 3
+        assert structure.successor(3) == 3
+        assert structure.successor(8) == 20
+        assert structure.successor(42) is None
+        assert structure.predecessor(2) is None
+        assert structure.predecessor(7) == 7
+        assert structure.predecessor(100) == 41
+        assert structure.successor_index(8) == 2
+        assert 20 in structure
+        assert 21 not in structure
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6), max_size=200),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_matches_naive(self, values, query):
+        structure = PredecessorStructure(values)
+        expected_successor = min((v for v in values if v >= query), default=None)
+        expected_predecessor = max((v for v in values if v <= query), default=None)
+        assert structure.successor(query) == expected_successor
+        assert structure.predecessor(query) == expected_predecessor

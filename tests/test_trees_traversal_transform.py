@@ -1,0 +1,110 @@
+"""Tests for traversals and the Section 2 transform."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.oracles.distance_matrix import DistanceMatrix
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.trees.transform import attach_leaves, binarize, prepare_for_leaf_queries
+from repro.trees.traversal import bfs_order, euler_tour, leaves_in_preorder, nodes_by_depth
+from repro.trees.tree import RootedTree
+
+from conftest import parent_array_trees, weighted_trees
+
+
+class TestTraversals:
+    def test_bfs_order(self, any_tree):
+        order = bfs_order(any_tree)
+        assert sorted(order) == list(any_tree.nodes())
+        # depths are non-decreasing along a BFS
+        depths = [any_tree.depth(node) for node in order]
+        assert depths == sorted(depths)
+
+    def test_euler_tour_length_and_depths(self, any_tree):
+        tour, depths, first = euler_tour(any_tree)
+        assert len(tour) == 2 * any_tree.n - 1
+        assert len(depths) == len(tour)
+        for index, node in enumerate(tour):
+            assert depths[index] == any_tree.depth(node)
+        for node in any_tree.nodes():
+            assert tour[first[node]] == node
+
+    def test_leaves_in_preorder(self, any_tree):
+        leaves = list(leaves_in_preorder(any_tree))
+        assert leaves == [v for v in any_tree.preorder() if any_tree.is_leaf(v)]
+
+    def test_nodes_by_depth(self, any_tree):
+        groups = nodes_by_depth(any_tree)
+        assert sum(len(group) for group in groups.values()) == any_tree.n
+        for depth, nodes in groups.items():
+            assert all(any_tree.depth(node) == depth for node in nodes)
+
+
+class TestAttachLeaves:
+    def test_every_node_gets_a_pendant_leaf(self, any_tree):
+        result = attach_leaves(any_tree)
+        assert result.tree.n == 2 * any_tree.n
+        for original, pendant in result.query_node.items():
+            assert result.tree.parent(pendant) == original
+            assert result.tree.edge_weight(pendant) == 0
+            assert result.tree.is_leaf(pendant)
+
+    def test_only_internal_mode(self):
+        tree = RootedTree([None, 0, 0])
+        result = attach_leaves(tree, only_internal=True)
+        assert result.query_node[1] == 1
+        assert result.query_node[2] == 2
+        assert result.query_node[0] != 0
+
+
+class TestBinarize:
+    def test_degrees_bounded_by_two(self, any_tree):
+        result = binarize(any_tree)
+        for node in result.tree.nodes():
+            assert result.tree.degree(node) <= 2
+
+    def test_star_binarization_preserves_distances(self):
+        star = RootedTree([None] + [0] * 9)
+        result = binarize(star)
+        matrix = DistanceMatrix(result.tree)
+        for u in range(1, 10):
+            assert matrix.distance(result.query_node[0], result.query_node[u]) == 1
+            for v in range(1, 10):
+                if u != v:
+                    assert matrix.distance(result.query_node[u], result.query_node[v]) == 2
+
+
+class TestPrepareForLeafQueries:
+    @given(weighted_trees(max_nodes=20))
+    @settings(max_examples=30, deadline=None)
+    def test_distances_preserved(self, tree):
+        result = prepare_for_leaf_queries(tree)
+        original = DistanceMatrix(tree)
+        transformed = DistanceMatrix(result.tree)
+        rng = random.Random(0)
+        nodes = list(tree.nodes())
+        for _ in range(30):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            assert original.distance(u, v) == transformed.distance(
+                result.query_node[u], result.query_node[v]
+            )
+
+    @given(parent_array_trees(max_nodes=25))
+    @settings(max_examples=30, deadline=None)
+    def test_query_nodes_are_leaves(self, tree):
+        result = prepare_for_leaf_queries(tree)
+        for pendant in result.query_node.values():
+            assert result.tree.is_leaf(pendant)
+
+    def test_without_binarization(self, any_tree):
+        result = prepare_for_leaf_queries(any_tree, binarize_tree=False)
+        oracle_old = TreeDistanceOracle(any_tree)
+        oracle_new = TreeDistanceOracle(result.tree)
+        rng = random.Random(1)
+        for _ in range(20):
+            u = rng.randrange(any_tree.n)
+            v = rng.randrange(any_tree.n)
+            assert oracle_old.distance(u, v) == oracle_new.distance(
+                result.query_node[u], result.query_node[v]
+            )
