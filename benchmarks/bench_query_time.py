@@ -4,12 +4,19 @@ The paper claims constant query time in the word-RAM model; on CPython the
 interesting comparison is the *relative* cost of the decoders (the Freedman
 decoder touches one entry and one accumulator, the separator decoder scans
 O(log n) centroids, the naive decoder scans whole root paths).
+
+The store benchmarks at the bottom compare serving a packed
+:class:`repro.store.LabelStore` through ``QueryEngine.batch_query`` (each
+label parsed once per batch) against per-pair ``distance_from_bits`` (two
+parses per query) — the parse amortisation that makes batched serving the
+fast path.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.analysis.label_stats import measure_store_throughput
 from repro.core.alstrup import AlstrupScheme
 from repro.core.approximate import ApproximateScheme
 from repro.core.freedman import FreedmanScheme
@@ -17,6 +24,8 @@ from repro.core.hld import HLDScheme
 from repro.core.kdistance import KDistanceScheme
 from repro.core.naive import NaiveListScheme
 from repro.core.separator import SeparatorScheme
+from repro.generators.workloads import make_tree, random_pairs
+from repro.store import LabelStore, QueryEngine
 
 EXACT_SCHEMES = {
     "freedman": FreedmanScheme,
@@ -82,3 +91,59 @@ def test_approximate_query_time(benchmark, benchmark_tree, benchmark_pairs):
     benchmark.extra_info.update(
         {"experiment": "Q-time", "scheme": "approximate(eps=0.25)", "n": benchmark_tree.n}
     )
+
+
+@pytest.mark.parametrize("scheme_name", ["freedman", "alstrup"])
+def test_store_batch_query_time(benchmark, scheme_name, benchmark_tree, benchmark_oracle):
+    """Batched serving from a packed store (each label parsed once)."""
+    scheme = EXACT_SCHEMES[scheme_name]()
+    store = LabelStore.encode_tree(scheme, benchmark_tree)
+    pairs = random_pairs(benchmark_tree, 500, seed=13)
+
+    def run_batch():
+        engine = QueryEngine(store, scheme=scheme)
+        return engine.batch_query(pairs)
+
+    answers = benchmark(run_batch)
+    expected = benchmark_oracle.batch_distance(pairs)
+    assert answers == expected
+    benchmark.extra_info.update(
+        {
+            "experiment": "Q-store",
+            "scheme": scheme_name,
+            "n": benchmark_tree.n,
+            "store_bytes": store.file_bytes,
+            "queries_per_round": len(pairs),
+        }
+    )
+
+
+def test_store_single_query_time(benchmark, benchmark_tree):
+    """Per-pair serving from bits: two parses per query (the slow path)."""
+    scheme = FreedmanScheme()
+    store = LabelStore.encode_tree(scheme, benchmark_tree)
+    pairs = random_pairs(benchmark_tree, 500, seed=13)
+
+    def run_single():
+        return [
+            scheme.distance_from_bits(store.label_bits(u), store.label_bits(v))
+            for u, v in pairs
+        ]
+
+    benchmark(run_single)
+    benchmark.extra_info.update(
+        {"experiment": "Q-store", "scheme": "freedman (per-pair bits)", "n": benchmark_tree.n}
+    )
+
+
+def test_freedman_batched_speedup():
+    """Acceptance gate: batched queries >= 2x per-pair ``distance_from_bits``.
+
+    A batch of 2000 random pairs on a 512-node tree touches each label many
+    times, so the engine's parse-once behaviour must win by a wide margin;
+    2x leaves headroom for machine noise.
+    """
+    tree = make_tree("random", 512, seed=7)
+    pairs = random_pairs(tree, 2000, seed=3)
+    row = measure_store_throughput(FreedmanScheme(), tree, pairs)
+    assert row["speedup"] >= 2.0, f"batched speedup only {row['speedup']:.2f}x"

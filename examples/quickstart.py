@@ -1,17 +1,27 @@
-"""Quickstart: label a tree and answer distance queries from labels alone.
+"""Quickstart: label a tree, pack the labels, and serve queries from bits.
 
 Run with::
 
     python examples/quickstart.py
+
+The walkthrough mirrors the command-line store workflow::
+
+    repro-labels encode --scheme freedman --family random --n 2000 --out labels.bin
+    repro-labels query labels.bin --pairs 1000
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 from repro import (
     AlstrupScheme,
+    ApproximateScheme,
     FreedmanScheme,
     KDistanceScheme,
-    ApproximateScheme,
+    LabelStore,
+    QueryEngine,
     TreeDistanceOracle,
     random_prufer_tree,
 )
@@ -33,33 +43,51 @@ def main() -> None:
     print(f"distance from labels : {scheme.distance(labels[u], labels[v])}")
     print(f"distance from oracle : {oracle.distance(u, v)}")
 
-    # labels are honest bit strings: serialise, ship, parse, query ----------
-    bits_u = labels[u].to_bits()
-    bits_v = labels[v].to_bits()
-    print(f"distance from raw bits: {scheme.distance_from_bits(bits_u, bits_v)}")
+    # 3. pack every label into one shippable store file ---------------------
+    # The store is the artefact the paper's model implies: distribute the
+    # labels, discard the tree.  All labels live in one contiguous buffer
+    # behind a varint offset index (format: repro/store/__init__.py).
+    store = LabelStore.from_labels(scheme, labels)
+    path = os.path.join(tempfile.mkdtemp(), "labels.bin")
+    written = store.save(path)
+    print("\n== packed label store ==")
+    print(f"wrote {path}: {written} bytes for {store.n} labels")
+    print(f"total label bits: {store.total_label_bits} "
+          f"(max {store.max_label_bits} bits per label)")
 
-    # 3. the 1/2 log^2 n baseline the paper improves on ---------------------
-    baseline = AlstrupScheme()
-    baseline_labels = baseline.encode(tree)
-    print("\n== label sizes (max over all nodes, in bits) ==")
-    print(f"freedman : {max(l.bit_length() for l in labels.values())}")
-    print(f"alstrup  : {max(l.bit_length() for l in baseline_labels.values())}")
+    # 4. reload and serve queries from the file alone -----------------------
+    # The engine rebuilds the scheme from the spec in the file header,
+    # caches parsed labels (LRU) and answers batches by parsing each
+    # distinct endpoint once.
+    engine = QueryEngine(LabelStore.load(path))
+    print("\n== serving from the store (no tree, no encoder) ==")
+    print(f"distance from store  : {engine.distance(u, v)}")
+    pairs = [(17, 1234), (0, 1999), (5, 5), (42, 1000)]
+    print(f"batch_distance({pairs}) = {engine.batch_distance(pairs)}")
+    print(f"4x4 distance matrix of {pairs[0]} endpoints and friends:")
+    for row in engine.distance_matrix([17, 1234, 0, 1999]):
+        print(f"  {row}")
+    print(f"parsed-label cache: {engine.cache_info()}")
 
-    # 4. bounded distances: is v within k hops of u? ------------------------
+    # 5. the 1/2 log^2 n baseline the paper improves on ---------------------
+    baseline_store = LabelStore.encode_tree(AlstrupScheme(), tree)
+    print("\n== total encoded size (store payload, in bytes) ==")
+    print(f"freedman : {store.payload_bytes}")
+    print(f"alstrup  : {baseline_store.payload_bytes}")
+
+    # 6. bounded distances: is v within k hops of u? ------------------------
     k = 8
-    bounded = KDistanceScheme(k)
-    bounded_labels = bounded.encode(tree)
-    answer = bounded.bounded_distance(bounded_labels[u], bounded_labels[v])
+    bounded_engine = QueryEngine.encode_tree(KDistanceScheme(k), tree)
+    answer = bounded_engine.query(u, v)
     print(f"\n== k-distance labeling (k={k}) ==")
     print(f"within {k} hops? {'yes, distance ' + str(answer) if answer is not None else 'no'}")
 
-    # 5. approximate distances with much smaller labels ---------------------
-    approx = ApproximateScheme(epsilon=0.5)
-    approx_labels = approx.encode(tree)
-    estimate = approx.approximate_distance(approx_labels[u], approx_labels[v])
+    # 7. approximate distances with much smaller labels ---------------------
+    approx_engine = QueryEngine.encode_tree(ApproximateScheme(epsilon=0.5), tree)
+    estimate = approx_engine.query(u, v)
     print("\n== (1+eps)-approximate labeling (eps=0.5) ==")
     print(f"estimate {estimate:.1f} vs exact {oracle.distance(u, v)}")
-    print(f"max label size: {max(l.bit_length() for l in approx_labels.values())} bits")
+    print(f"store size: {approx_engine.store.payload_bytes} bytes")
 
 
 if __name__ == "__main__":

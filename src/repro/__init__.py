@@ -14,7 +14,10 @@ Public API highlights
 * the level-ancestor scheme :class:`repro.core.LevelAncestorScheme` and the
   universal-tree construction of Lemma 3.6 in :mod:`repro.universal`;
 * the lower-bound instance families in :mod:`repro.lowerbounds`;
-* the measurement harness in :mod:`repro.analysis`.
+* the measurement harness in :mod:`repro.analysis`;
+* the packed :class:`repro.store.LabelStore` and batch
+  :class:`repro.store.QueryEngine` serving layer (``repro-labels encode`` /
+  ``repro-labels query`` on the command line).
 
 Quick start::
 
@@ -44,7 +47,9 @@ from repro.generators import (
     random_prufer_tree,
     star_tree,
 )
+from repro.core import make_any_scheme, make_scheme
 from repro.oracles import TreeDistanceOracle
+from repro.store import LabelStore, QueryEngine
 from repro.trees import RootedTree, tree_from_edges, tree_from_parents
 
 __version__ = "1.0.0"
@@ -63,6 +68,10 @@ __all__ = [
     "ApproximateScheme",
     "AdjacencyScheme",
     "LevelAncestorScheme",
+    "LabelStore",
+    "QueryEngine",
+    "make_scheme",
+    "make_any_scheme",
     "random_prufer_tree",
     "path_tree",
     "star_tree",

@@ -15,6 +15,7 @@ from repro.analysis.label_stats import (
     measure_approximate_scheme,
     measure_bounded_scheme,
     measure_scheme,
+    measure_store_throughput,
 )
 from repro.core.alstrup import AlstrupScheme
 from repro.core.approximate import ApproximateScheme
@@ -136,6 +137,34 @@ def run_table1_approx(
             measurement = measure_approximate_scheme(scheme, tree, pairs, family, oracle)
             row = measurement.as_row()
             row["paper_bound"] = round(approx_bound_bits(n, eps), 1)
+            rows.append(row)
+    return rows
+
+
+def run_store_throughput(
+    sizes: list[int] | None = None,
+    schemes=DEFAULT_EXACT_SCHEMES,
+    family: str = "random",
+    queries: int = 2000,
+    seed: int = 0,
+) -> list[dict]:
+    """Experiment Q-store: batched engine queries vs per-pair bit parsing.
+
+    Every row compares ``QueryEngine.batch_query`` (parse each label once
+    per batch) against ``scheme.query_from_bits`` (parse per query) on the
+    same packed :class:`repro.store.LabelStore`.
+    """
+    sizes = sizes or [1024]
+    rows: list[dict] = []
+    for n in sizes:
+        tree = make_tree(family, n, seed)
+        pairs = random_pairs(tree, queries, seed)
+        for scheme_factory in schemes:
+            row = measure_store_throughput(scheme_factory(), tree, pairs)
+            row["family"] = family
+            row["single_qps"] = round(row["single_qps"], 1)
+            row["batch_qps"] = round(row["batch_qps"], 1)
+            row["speedup"] = round(row["speedup"], 2)
             rows.append(row)
     return rows
 

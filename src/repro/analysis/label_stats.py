@@ -1,11 +1,20 @@
-"""Per-scheme measurement: label sizes, encode time, query time, correctness."""
+"""Per-scheme measurement: label sizes, encode time, query time, correctness.
+
+All three scheme families are measured by one code path built on the unified
+``scheme.query`` interface; only the per-family answer check differs.  Every
+measurement also packs the labels into a :class:`repro.store.LabelStore` to
+report *total* encoded space (store file bytes and summed label bits), the
+honest counterpart of the per-label maxima the paper bounds.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.store.label_store import LabelStore
 from repro.trees.tree import RootedTree
 
 
@@ -18,6 +27,8 @@ class LabelMeasurement:
     n: int
     max_bits: int
     average_bits: float
+    total_bits: int
+    store_bytes: int
     core_max_bits: int | None
     encode_seconds: float
     query_microseconds: float
@@ -33,6 +44,8 @@ class LabelMeasurement:
             "n": self.n,
             "max_bits": self.max_bits,
             "avg_bits": round(self.average_bits, 1),
+            "total_bits": self.total_bits,
+            "store_bytes": self.store_bytes,
             "core_max_bits": self.core_max_bits,
             "encode_s": round(self.encode_seconds, 3),
             "query_us": round(self.query_microseconds, 2),
@@ -42,14 +55,21 @@ class LabelMeasurement:
         return row
 
 
-def measure_scheme(
+def _measure(
     scheme,
     tree: RootedTree,
     pairs: list[tuple[int, int]],
-    family: str = "?",
-    oracle: TreeDistanceOracle | None = None,
+    family: str,
+    oracle: TreeDistanceOracle | None,
+    display_name: str,
+    check: Callable[[object, int], bool],
+    extra: dict | None = None,
 ) -> LabelMeasurement:
-    """Encode a tree, measure label sizes and time/verify the queries."""
+    """Shared measurement core: encode, pack, time queries, verify answers.
+
+    ``check(answer, exact)`` decides whether one ``scheme.query`` answer is
+    acceptable against the oracle's exact distance.
+    """
     if oracle is None:
         oracle = TreeDistanceOracle(tree)
 
@@ -63,26 +83,49 @@ def measure_scheme(
         for label in labels.values()
         if hasattr(label, "distance_array_bits")
     ]
+    store = LabelStore.from_labels(scheme, labels)
 
     mismatches = 0
     start = time.perf_counter()
     for u, v in pairs:
-        answer = scheme.distance(labels[u], labels[v])
-        if answer != oracle.distance(u, v):
+        answer = scheme.query(labels[u], labels[v])
+        if not check(answer, oracle.distance(u, v)):
             mismatches += 1
     elapsed = time.perf_counter() - start
 
     return LabelMeasurement(
-        scheme=scheme.name,
+        scheme=display_name,
         family=family,
         n=tree.n,
         max_bits=max(sizes),
         average_bits=sum(sizes) / len(sizes),
+        total_bits=store.total_label_bits,
+        store_bytes=store.file_bytes,
         core_max_bits=max(core_sizes) if core_sizes else None,
         encode_seconds=encode_seconds,
         query_microseconds=(elapsed / max(len(pairs), 1)) * 1e6,
         queries_checked=len(pairs),
         mismatches=mismatches,
+        extra=extra or {},
+    )
+
+
+def measure_scheme(
+    scheme,
+    tree: RootedTree,
+    pairs: list[tuple[int, int]],
+    family: str = "?",
+    oracle: TreeDistanceOracle | None = None,
+) -> LabelMeasurement:
+    """Encode a tree, measure label sizes and time/verify the queries."""
+    return _measure(
+        scheme,
+        tree,
+        pairs,
+        family,
+        oracle,
+        display_name=scheme.name,
+        check=lambda answer, exact: answer == exact,
     )
 
 
@@ -94,36 +137,16 @@ def measure_bounded_scheme(
     oracle: TreeDistanceOracle | None = None,
 ) -> LabelMeasurement:
     """Like :func:`measure_scheme` but for k-distance schemes."""
-    if oracle is None:
-        oracle = TreeDistanceOracle(tree)
-
-    start = time.perf_counter()
-    labels = scheme.encode(tree)
-    encode_seconds = time.perf_counter() - start
-    sizes = [label.bit_length() for label in labels.values()]
-
-    mismatches = 0
-    start = time.perf_counter()
-    for u, v in pairs:
-        answer = scheme.bounded_distance(labels[u], labels[v])
-        exact = oracle.distance(u, v)
-        expected = exact if exact <= scheme.k else None
-        if answer != expected:
-            mismatches += 1
-    elapsed = time.perf_counter() - start
-
-    return LabelMeasurement(
-        scheme=f"{scheme.name}(k={scheme.k})",
-        family=family,
-        n=tree.n,
-        max_bits=max(sizes),
-        average_bits=sum(sizes) / len(sizes),
-        core_max_bits=None,
-        encode_seconds=encode_seconds,
-        query_microseconds=(elapsed / max(len(pairs), 1)) * 1e6,
-        queries_checked=len(pairs),
-        mismatches=mismatches,
-        extra={"k": scheme.k},
+    k = scheme.k
+    return _measure(
+        scheme,
+        tree,
+        pairs,
+        family,
+        oracle,
+        display_name=f"{scheme.name}(k={k})",
+        check=lambda answer, exact: answer == (exact if exact <= k else None),
+        extra={"k": k},
     )
 
 
@@ -135,40 +158,63 @@ def measure_approximate_scheme(
     oracle: TreeDistanceOracle | None = None,
 ) -> LabelMeasurement:
     """Like :func:`measure_scheme` but for (1+eps)-approximate schemes."""
-    if oracle is None:
-        oracle = TreeDistanceOracle(tree)
+    worst = {"ratio": 1.0}
 
-    start = time.perf_counter()
-    labels = scheme.encode(tree)
-    encode_seconds = time.perf_counter() - start
-    sizes = [label.bit_length() for label in labels.values()]
-
-    mismatches = 0
-    worst_ratio = 1.0
-    start = time.perf_counter()
-    for u, v in pairs:
-        answer = scheme.approximate_distance(labels[u], labels[v])
-        exact = oracle.distance(u, v)
+    def check(answer, exact) -> bool:
         if exact == 0:
-            if answer != 0:
-                mismatches += 1
-            continue
+            return answer == 0
         ratio = answer / exact
-        worst_ratio = max(worst_ratio, ratio)
-        if not (1.0 - 1e-9 <= ratio <= 1.0 + scheme.epsilon + 1e-9):
-            mismatches += 1
-    elapsed = time.perf_counter() - start
+        worst["ratio"] = max(worst["ratio"], ratio)
+        return 1.0 - 1e-9 <= ratio <= 1.0 + scheme.epsilon + 1e-9
 
-    return LabelMeasurement(
-        scheme=f"{scheme.name}(eps={scheme.epsilon})",
-        family=family,
-        n=tree.n,
-        max_bits=max(sizes),
-        average_bits=sum(sizes) / len(sizes),
-        core_max_bits=None,
-        encode_seconds=encode_seconds,
-        query_microseconds=(elapsed / max(len(pairs), 1)) * 1e6,
-        queries_checked=len(pairs),
-        mismatches=mismatches,
-        extra={"eps": scheme.epsilon, "worst_ratio": round(worst_ratio, 4)},
+    measurement = _measure(
+        scheme,
+        tree,
+        pairs,
+        family,
+        oracle,
+        display_name=f"{scheme.name}(eps={scheme.epsilon})",
+        check=check,
+        extra={"eps": scheme.epsilon},
     )
+    measurement.extra["worst_ratio"] = round(worst["ratio"], 4)
+    return measurement
+
+
+def measure_store_throughput(
+    scheme,
+    tree: RootedTree,
+    pairs: list[tuple[int, int]],
+) -> dict:
+    """Compare per-pair ``query_from_bits`` against a batched engine run.
+
+    Returns a row with both throughputs and the speedup; used by the
+    ``bench_query_time`` benchmark and the CLI ``query`` command.
+    """
+    from repro.store.query_engine import QueryEngine
+
+    store = LabelStore.encode_tree(scheme, tree)
+
+    start = time.perf_counter()
+    single = [
+        scheme.query_from_bits(store.label_bits(u), store.label_bits(v))
+        for u, v in pairs
+    ]
+    single_seconds = time.perf_counter() - start
+
+    engine = QueryEngine(store, scheme=scheme)
+    start = time.perf_counter()
+    batched = engine.batch_query(pairs)
+    batch_seconds = time.perf_counter() - start
+
+    if single != batched:
+        raise AssertionError("batched answers disagree with per-pair answers")
+    return {
+        "scheme": scheme.name,
+        "n": tree.n,
+        "pairs": len(pairs),
+        "single_qps": len(pairs) / single_seconds if single_seconds else float("inf"),
+        "batch_qps": len(pairs) / batch_seconds if batch_seconds else float("inf"),
+        "speedup": single_seconds / batch_seconds if batch_seconds else float("inf"),
+        "store_bytes": store.file_bytes,
+    }

@@ -8,6 +8,19 @@ the paper can be regenerated from the shell::
     repro-labels table1-approx
     repro-labels fig1 | fig2 | fig4 | fig5
     repro-labels demo --family random --n 1000
+
+The store workflow encodes a tree once into a packed label file and then
+answers queries from that file alone (no tree access)::
+
+    repro-labels encode --scheme freedman --family random --n 1000 --out labels.bin
+    repro-labels query labels.bin --pairs 1000          # random batched queries
+    repro-labels query labels.bin --u 17 --v 1234       # one pair
+
+``encode`` accepts any registry scheme name (``repro-labels encode --list``
+prints them); k-distance and approximate schemes take ``--k`` /
+``--epsilon``.  ``query`` rebuilds the scheme from the spec stored in the
+file header and reports batched vs per-pair throughput, and
+``store-bench`` runs the batched-vs-single comparison across schemes.
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ from repro.analysis.experiments import (
     run_fig2_hm_trees,
     run_fig4_universal_tree,
     run_fig5_regular_trees,
+    run_store_throughput,
     run_table1_approx,
     run_table1_exact,
     run_table1_kdistance,
@@ -64,6 +78,36 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--n", type=int, default=1000)
     demo.add_argument("--seed", type=int, default=0)
 
+    encode = commands.add_parser(
+        "encode", help="encode a tree into a packed label-store file"
+    )
+    encode.add_argument("--scheme", default="freedman")
+    encode.add_argument("--family", default="random")
+    encode.add_argument("--n", type=int, default=1000)
+    encode.add_argument("--seed", type=int, default=0)
+    encode.add_argument("--k", type=int, default=None, help="k for k-distance schemes")
+    encode.add_argument(
+        "--epsilon", type=float, default=None, help="epsilon for approximate schemes"
+    )
+    encode.add_argument("--out", default="labels.bin")
+    encode.add_argument(
+        "--list", action="store_true", help="list registered schemes and exit"
+    )
+
+    query = commands.add_parser(
+        "query", help="answer distance queries from a label-store file"
+    )
+    query.add_argument("store", help="file written by the encode command")
+    query.add_argument("--pairs", type=int, default=1000)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--u", type=int, default=None)
+    query.add_argument("--v", type=int, default=None)
+
+    store_bench = commands.add_parser(
+        "store-bench", help="batched vs per-pair query throughput"
+    )
+    _add_size_options(store_bench)
+
     return parser
 
 
@@ -90,6 +134,88 @@ def _demo(family: str, n: int, seed: int) -> str:
     return "\n".join(lines)
 
 
+def _encode(args) -> str:
+    from repro.core.registry import ALL_SCHEME_NAMES, make_any_scheme
+    from repro.generators.workloads import make_tree
+    from repro.store import LabelStore
+
+    if args.list:
+        return "registered schemes: " + " ".join(ALL_SCHEME_NAMES)
+
+    params = {}
+    if args.k is not None:
+        params["k"] = args.k
+    if args.epsilon is not None:
+        params["epsilon"] = args.epsilon
+    scheme = make_any_scheme(args.scheme, **params)
+
+    tree = make_tree(args.family, args.n, args.seed)
+    store = LabelStore.encode_tree(scheme, tree)
+    written = store.save(args.out)
+    return (
+        f"encoded family={args.family} n={tree.n} with scheme={args.scheme}"
+        f"{params or ''}\n"
+        f"wrote {args.out}: {written} bytes "
+        f"(payload {store.payload_bytes} bytes, labels {store.total_label_bits} bits, "
+        f"max label {store.max_label_bits} bits)"
+    )
+
+
+def _query(args) -> str:
+    import random
+    import time
+
+    from repro.store import LabelStore, QueryEngine, StoreError
+
+    store = LabelStore.load(args.store)
+    engine = QueryEngine(store)
+    scheme = engine.scheme
+
+    if args.u is not None or args.v is not None:
+        if args.u is None or args.v is None:
+            raise SystemExit("--u and --v must be given together")
+        answer = engine.query(args.u, args.v)
+        return (
+            f"store={args.store} scheme={store.scheme_name} n={store.n}\n"
+            f"query({args.u}, {args.v}) = {answer}"
+        )
+
+    if args.pairs < 1:
+        raise ValueError("--pairs must be at least 1")
+    rng = random.Random(args.seed)
+    pairs = [
+        (rng.randrange(store.n), rng.randrange(store.n)) for _ in range(args.pairs)
+    ]
+
+    start = time.perf_counter()
+    answers = engine.batch_query(pairs)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    single = [
+        scheme.query_from_bits(store.label_bits(u), store.label_bits(v))
+        for u, v in pairs[: min(len(pairs), 200)]
+    ]
+    single_seconds = time.perf_counter() - start
+    if single != answers[: len(single)]:
+        raise StoreError("batched answers disagree with per-pair answers")
+
+    single_qps = len(single) / single_seconds if single_seconds else float("inf")
+    batch_qps = len(pairs) / batch_seconds if batch_seconds else float("inf")
+    preview = ", ".join(
+        f"d({u},{v})={a}" for (u, v), a in list(zip(pairs, answers))[:5]
+    )
+    return (
+        f"store={args.store} scheme={store.scheme_name} params={store.scheme_params} "
+        f"n={store.n}\n"
+        f"answered {len(pairs)} queries from labels alone\n"
+        f"batched: {batch_qps:,.0f} queries/s   "
+        f"per-pair bit parsing: {single_qps:,.0f} queries/s   "
+        f"speedup {batch_qps / single_qps:.1f}x\n"
+        f"first answers: {preview}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
@@ -111,6 +237,21 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "demo":
         print(_demo(args.family, args.n, args.seed))
         return 0
+    elif args.command in ("encode", "query"):
+        from repro.store import StoreError
+
+        try:
+            print(_encode(args) if args.command == "encode" else _query(args))
+            return 0
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except (StoreError, KeyError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+    elif args.command == "store-bench":
+        rows = run_store_throughput(args.sizes, queries=args.queries, seed=args.seed)
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled command {args.command!r}")
 

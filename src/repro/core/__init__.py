@@ -21,7 +21,13 @@ Every scheme produces self-contained bit-string labels; decoders consume
 labels only (never the tree).
 """
 
-from repro.core.base import DistanceLabelingScheme, LabelProtocol
+from repro.core.base import (
+    ApproximateDistanceLabelingScheme,
+    BoundedDistanceLabelingScheme,
+    DistanceLabelingScheme,
+    LabelProtocol,
+    LabelingScheme,
+)
 from repro.core.naive import NaiveListScheme
 from repro.core.separator import SeparatorScheme
 from repro.core.hld import HLDScheme
@@ -31,10 +37,21 @@ from repro.core.level_ancestor import LevelAncestorScheme
 from repro.core.kdistance import KDistanceScheme
 from repro.core.adjacency import AdjacencyScheme
 from repro.core.approximate import ApproximateScheme
-from repro.core.registry import SCHEMES, make_scheme
+from repro.core.registry import (
+    ALL_SCHEME_NAMES,
+    APPROXIMATE_SCHEMES,
+    BOUNDED_SCHEMES,
+    SCHEME_CLASSES,
+    SCHEMES,
+    make_any_scheme,
+    make_scheme,
+)
 
 __all__ = [
+    "LabelingScheme",
     "DistanceLabelingScheme",
+    "BoundedDistanceLabelingScheme",
+    "ApproximateDistanceLabelingScheme",
     "LabelProtocol",
     "NaiveListScheme",
     "SeparatorScheme",
@@ -46,5 +63,10 @@ __all__ = [
     "AdjacencyScheme",
     "ApproximateScheme",
     "SCHEMES",
+    "BOUNDED_SCHEMES",
+    "APPROXIMATE_SCHEMES",
+    "SCHEME_CLASSES",
+    "ALL_SCHEME_NAMES",
     "make_scheme",
+    "make_any_scheme",
 ]

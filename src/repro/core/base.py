@@ -9,8 +9,22 @@ A labeling scheme has two halves:
 Keeping the decoder free of tree access is the entire point of a labeling
 scheme, so the base class makes the separation explicit: ``encode`` returns
 plain label objects, every label serialises to a bit string through
-``to_bits``/``from_bits``, and ``distance_from_bits`` re-parses the labels
+``to_bits``/``from_bits``, and ``query_from_bits`` re-parses the labels
 before answering, proving that no hidden state leaks from the encoder.
+
+All three scheme families — exact, k-distance (bounded) and
+(1+eps)-approximate — share the :class:`LabelingScheme` base, whose
+``query(label_u, label_v)`` method is the single entry point used by
+:class:`repro.store.QueryEngine`, the measurement harness and the CLI.
+What ``query`` returns is family-specific (the ``kind`` attribute names the
+semantics): an exact distance, a distance-or-``None`` cutoff answer, or a
+(1+eps)-approximation.  The family base classes keep their traditional
+method names (``distance``, ``bounded_distance``, ``approximate_distance``)
+as the abstract hook and alias ``query`` to them.
+
+``params()`` returns the constructor arguments needed to rebuild an
+equivalent scheme; together with ``name`` it forms the persistence spec that
+:class:`repro.store.LabelStore` writes next to the packed labels.
 """
 
 from __future__ import annotations
@@ -35,27 +49,39 @@ class LabelProtocol(Protocol):
         ...
 
 
-class DistanceLabelingScheme(ABC):
-    """Base class for exact distance labeling schemes."""
+class LabelingScheme(ABC):
+    """Base class shared by exact, bounded and approximate schemes."""
 
-    #: short identifier used by the registry, the CLI and the benchmarks
+    #: short identifier used by the registry, the store files and the CLI
     name: str = "abstract"
+
+    #: query semantics: ``"exact"``, ``"bounded"`` or ``"approximate"``
+    kind: str = "exact"
 
     @abstractmethod
     def encode(self, tree: RootedTree) -> dict[int, LabelProtocol]:
         """Assign a label to every node of ``tree``."""
 
     @abstractmethod
-    def distance(self, label_u: LabelProtocol, label_v: LabelProtocol) -> int:
-        """Exact distance computed from two labels."""
-
-    @abstractmethod
     def parse(self, bits: Bits) -> LabelProtocol:
         """Parse a label from its serialised bits."""
 
-    def distance_from_bits(self, bits_u: Bits, bits_v: Bits) -> int:
+    @abstractmethod
+    def query(self, label_u: LabelProtocol, label_v: LabelProtocol):
+        """Answer one query from two parsed labels (family-specific value)."""
+
+    def query_from_bits(self, bits_u: Bits, bits_v: Bits):
         """Answer a query from serialised labels only."""
-        return self.distance(self.parse(bits_u), self.parse(bits_v))
+        return self.query(self.parse(bits_u), self.parse(bits_v))
+
+    def params(self) -> dict:
+        """Constructor arguments that rebuild an equivalent scheme.
+
+        The pair ``(name, params())`` is the persistence spec stored by
+        :class:`repro.store.LabelStore` and resolved back through
+        :func:`repro.core.registry.make_any_scheme`.
+        """
+        return {}
 
     # -- measurement helpers ------------------------------------------------
 
@@ -75,8 +101,32 @@ class DistanceLabelingScheme(ABC):
         sizes = cls.label_sizes(labels)
         return sum(sizes) / len(sizes)
 
+    @classmethod
+    def total_label_bits(cls, labels: dict[int, LabelProtocol]) -> int:
+        """Total size of all labels in bits (the honest space measure)."""
+        return sum(cls.label_sizes(labels))
 
-class BoundedDistanceLabelingScheme(ABC):
+
+class DistanceLabelingScheme(LabelingScheme):
+    """Base class for exact distance labeling schemes."""
+
+    name: str = "abstract"
+    kind = "exact"
+
+    @abstractmethod
+    def distance(self, label_u: LabelProtocol, label_v: LabelProtocol) -> int:
+        """Exact distance computed from two labels."""
+
+    def query(self, label_u: LabelProtocol, label_v: LabelProtocol) -> int:
+        """Unified query interface: the exact distance."""
+        return self.distance(label_u, label_v)
+
+    def distance_from_bits(self, bits_u: Bits, bits_v: Bits) -> int:
+        """Answer a query from serialised labels only."""
+        return self.distance(self.parse(bits_u), self.parse(bits_v))
+
+
+class BoundedDistanceLabelingScheme(LabelingScheme):
     """Base class for k-distance schemes (Section 4).
 
     ``bounded_distance`` returns the exact distance when it is at most ``k``
@@ -84,6 +134,7 @@ class BoundedDistanceLabelingScheme(ABC):
     """
 
     name: str = "abstract-bounded"
+    kind = "bounded"
 
     def __init__(self, k: int) -> None:
         if k < 1:
@@ -91,28 +142,28 @@ class BoundedDistanceLabelingScheme(ABC):
         self.k = k
 
     @abstractmethod
-    def encode(self, tree: RootedTree) -> dict[int, LabelProtocol]:
-        """Assign a label to every node of ``tree``."""
-
-    @abstractmethod
     def bounded_distance(
         self, label_u: LabelProtocol, label_v: LabelProtocol
     ) -> int | None:
         """Distance if it is at most ``k``; ``None`` otherwise."""
 
-    @abstractmethod
-    def parse(self, bits: Bits) -> LabelProtocol:
-        """Parse a label from its serialised bits."""
+    def query(self, label_u: LabelProtocol, label_v: LabelProtocol) -> int | None:
+        """Unified query interface: the bounded distance."""
+        return self.bounded_distance(label_u, label_v)
+
+    def params(self) -> dict:
+        return {"k": self.k}
 
     def bounded_distance_from_bits(self, bits_u: Bits, bits_v: Bits) -> int | None:
         """Answer a query from serialised labels only."""
         return self.bounded_distance(self.parse(bits_u), self.parse(bits_v))
 
 
-class ApproximateDistanceLabelingScheme(ABC):
+class ApproximateDistanceLabelingScheme(LabelingScheme):
     """Base class for (1+eps)-approximate schemes (Section 5)."""
 
     name: str = "abstract-approx"
+    kind = "approximate"
 
     def __init__(self, epsilon: float) -> None:
         if epsilon <= 0:
@@ -120,18 +171,17 @@ class ApproximateDistanceLabelingScheme(ABC):
         self.epsilon = epsilon
 
     @abstractmethod
-    def encode(self, tree: RootedTree) -> dict[int, LabelProtocol]:
-        """Assign a label to every node of ``tree``."""
-
-    @abstractmethod
     def approximate_distance(
         self, label_u: LabelProtocol, label_v: LabelProtocol
     ) -> int:
         """A value in ``[d(u, v), (1 + eps) * d(u, v)]``."""
 
-    @abstractmethod
-    def parse(self, bits: Bits) -> LabelProtocol:
-        """Parse a label from its serialised bits."""
+    def query(self, label_u: LabelProtocol, label_v: LabelProtocol):
+        """Unified query interface: the (1+eps)-approximate distance."""
+        return self.approximate_distance(label_u, label_v)
+
+    def params(self) -> dict:
+        return {"epsilon": self.epsilon}
 
     def approximate_distance_from_bits(self, bits_u: Bits, bits_v: Bits) -> int:
         """Answer a query from serialised labels only."""

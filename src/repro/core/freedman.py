@@ -214,6 +214,13 @@ class FreedmanScheme(DistanceLabelingScheme):
         #: statistics of the most recent :meth:`encode` call (for ablations)
         self.encoding_stats: dict[str, int] = {}
 
+    def params(self) -> dict:
+        return {
+            "binarize": self._binarize,
+            "use_fragments": self._use_fragments,
+            "use_accumulators": self._use_accumulators,
+        }
+
     # -- encoding ------------------------------------------------------------
 
     def encode(self, tree: RootedTree) -> dict[int, FreedmanLabel]:

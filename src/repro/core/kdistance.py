@@ -190,6 +190,9 @@ class KDistanceScheme(BoundedDistanceLabelingScheme):
             raise ValueError(f"unknown mode {mode!r}")
         self._mode = mode
 
+    def params(self) -> dict:
+        return {"k": self.k, "mode": self._mode}
+
     # -- encoding ------------------------------------------------------------
 
     def _resolve_mode(self, n: int) -> str:

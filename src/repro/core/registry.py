@@ -1,13 +1,27 @@
-"""Registry of labeling schemes, used by the CLI and the benchmarks."""
+"""Registry of labeling schemes, used by the CLI, the store and the benchmarks.
+
+Exact schemes are zero-argument factories (ablation variants of the Freedman
+scheme included); bounded and approximate schemes take their defining
+parameter (``k`` / ``epsilon``).  :func:`make_any_scheme` is the single
+entry point that resolves a ``(name, params)`` spec — the form persisted in
+:class:`repro.store.LabelStore` files — back to a live scheme of any family.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
 from repro.core.alstrup import AlstrupScheme
-from repro.core.base import DistanceLabelingScheme
+from repro.core.approximate import ApproximateScheme
+from repro.core.base import (
+    ApproximateDistanceLabelingScheme,
+    BoundedDistanceLabelingScheme,
+    DistanceLabelingScheme,
+    LabelingScheme,
+)
 from repro.core.freedman import FreedmanScheme
 from repro.core.hld import HLDScheme
+from repro.core.kdistance import KDistanceScheme
 from repro.core.naive import NaiveListScheme
 from repro.core.separator import SeparatorScheme
 
@@ -23,9 +37,61 @@ SCHEMES: dict[str, Callable[[], DistanceLabelingScheme]] = {
     "freedman-no-binarize": lambda: FreedmanScheme(binarize=False),
 }
 
+#: bounded (k-distance) scheme factories, keyed by name
+BOUNDED_SCHEMES: dict[str, Callable[..., BoundedDistanceLabelingScheme]] = {
+    KDistanceScheme.name: KDistanceScheme,
+}
+
+#: approximate scheme factories, keyed by name
+APPROXIMATE_SCHEMES: dict[str, Callable[..., ApproximateDistanceLabelingScheme]] = {
+    ApproximateScheme.name: ApproximateScheme,
+}
+
+#: canonical scheme classes keyed by their ``name`` attribute; used to
+#: resolve the ``(name, params)`` spec a :class:`repro.store.LabelStore`
+#: persists (ablation aliases above map to the same class names)
+SCHEME_CLASSES: dict[str, type[LabelingScheme]] = {
+    cls.name: cls
+    for cls in (
+        NaiveListScheme,
+        SeparatorScheme,
+        HLDScheme,
+        AlstrupScheme,
+        FreedmanScheme,
+        KDistanceScheme,
+        ApproximateScheme,
+    )
+}
+
+#: every registered name, for CLI help and error messages
+ALL_SCHEME_NAMES: tuple[str, ...] = tuple(
+    sorted({*SCHEMES, *BOUNDED_SCHEMES, *APPROXIMATE_SCHEMES})
+)
+
 
 def make_scheme(name: str) -> DistanceLabelingScheme:
     """Instantiate an exact scheme by registry name."""
     if name not in SCHEMES:
         raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEMES)}")
     return SCHEMES[name]()
+
+
+def make_any_scheme(name: str, **params) -> LabelingScheme:
+    """Instantiate a scheme of any family from a ``(name, params)`` spec.
+
+    Canonical names (``freedman``, ``k-distance``, ``approximate``, ...)
+    accept constructor parameters; registry aliases such as
+    ``freedman-no-fragments`` are parameterless shortcuts.
+    """
+    if name in SCHEME_CLASSES:
+        try:
+            return SCHEME_CLASSES[name](**params)
+        except TypeError as error:
+            raise ValueError(f"scheme {name!r}: {error}") from error
+    if name in SCHEMES:
+        if params:
+            raise ValueError(
+                f"scheme alias {name!r} does not accept parameters (got {params})"
+            )
+        return SCHEMES[name]()
+    raise KeyError(f"unknown scheme {name!r}; known: {list(ALL_SCHEME_NAMES)}")

@@ -69,6 +69,40 @@ class Bits:
             return Bits("")
         return Bits(format(value, f"0{width}b"))
 
+    def to_bytes(self) -> bytes:
+        """Pack the bits into bytes, MSB-first, zero-padded at the end.
+
+        The first bit of the string becomes the highest bit of the first
+        byte; a trailing partial byte is padded with zeros on the right.
+        ``len(self)`` must be remembered separately to invert exactly —
+        see :meth:`from_bytes`.
+        """
+        if not self.data:
+            return b""
+        count = (len(self.data) + 7) // 8
+        padded = self.data.ljust(count * 8, "0")
+        return int(padded, 2).to_bytes(count, "big")
+
+    @staticmethod
+    def from_bytes(data, bit_length: int) -> "Bits":
+        """Unpack ``bit_length`` MSB-first bits from ``data``.
+
+        ``data`` may be ``bytes`` or a ``memoryview`` (zero-copy slices of a
+        :class:`repro.store.LabelStore` buffer); only the first
+        ``ceil(bit_length / 8)`` bytes are examined.
+        """
+        if bit_length < 0:
+            raise BitError("bit_length must be non-negative")
+        if bit_length == 0:
+            return Bits("")
+        count = (bit_length + 7) // 8
+        if len(data) < count:
+            raise BitError(
+                f"need {count} bytes for {bit_length} bits, got {len(data)}"
+            )
+        value = int.from_bytes(bytes(data[:count]), "big")
+        return Bits(format(value, f"0{count * 8}b")[:bit_length])
+
     def __str__(self) -> str:  # pragma: no cover - debugging helper
         return self.data
 

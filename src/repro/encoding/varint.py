@@ -1,8 +1,13 @@
-"""Small auxiliary integer codes: unary and bounded binary.
+"""Small auxiliary integer codes: unary, bounded binary and byte varints.
 
 The unary code ``0^x 1`` is used by Lemma 2.2 to encode the quotient
 sequence, and bounded binary codes ("write x using exactly ceil(log2 M)
 bits") are used whenever a field has a known universe.
+
+The byte-level LEB128 varint (``encode_uvarint``/``decode_uvarint``) is the
+framing code of the :mod:`repro.store` binary format: unlike the bit codes
+above it keeps every field byte-aligned so stored labels can be sliced
+zero-copy with :class:`memoryview`.
 """
 
 from __future__ import annotations
@@ -42,3 +47,40 @@ def encode_bounded(writer: BitWriter, value: int, universe: int) -> None:
 def decode_bounded(reader: BitReader, universe: int) -> int:
     """Read a value written by :func:`encode_bounded`."""
     return reader.read_int(bounded_width(universe))
+
+
+def encode_uvarint(value: int) -> bytes:
+    """LEB128: 7 value bits per byte, high bit set on all but the last."""
+    if value < 0:
+        raise ValueError("uvarint encodes non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data, offset: int = 0) -> tuple[int, int]:
+    """Read one LEB128 varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.  ``data`` may be ``bytes``,
+    ``bytearray`` or a ``memoryview``.
+    """
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("uvarint too long (corrupt stream?)")

@@ -35,6 +35,15 @@ class TreeDistanceOracle:
             - 2 * self._tree.root_distance(ancestor)
         )
 
+    def batch_distance(self, pairs) -> list[int]:
+        """Distances for many pairs; mirrors ``QueryEngine.batch_distance``."""
+        return [self.distance(u, v) for u, v in pairs]
+
+    def distance_matrix(self, nodes=None) -> list[list[int]]:
+        """All pairwise distances over ``nodes`` (default: every node)."""
+        targets = list(self._tree.nodes()) if nodes is None else list(nodes)
+        return [[self.distance(u, v) for v in targets] for u in targets]
+
     def hop_distance(self, u: int, v: int) -> int:
         """Unweighted (edge count) distance between ``u`` and ``v``."""
         ancestor = self._lca.query(u, v)

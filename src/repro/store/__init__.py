@@ -1,0 +1,46 @@
+"""Packed label stores and the batch query engine.
+
+This package is the serving layer of the reproduction: it turns the labels a
+scheme assigns into a single shippable artefact and answers queries from
+that artefact alone — the workflow the paper's model implies (distribute the
+labels, discard the tree).
+
+:class:`LabelStore`
+    every node label packed into one contiguous byte buffer with an offset
+    index, zero-copy ``memoryview`` slicing and ``save``/``load`` for
+    on-disk persistence.  ``total_label_bits``/``file_bytes`` measure the
+    *total* space of an encoding, complementing the per-label maxima the
+    paper bounds.
+
+:class:`QueryEngine`
+    answers distance queries against a store through the unified
+    ``scheme.query`` interface, caching parsed labels (LRU) and providing
+    ``batch_distance``/``distance_matrix`` fast paths that parse each label
+    once per batch instead of once per query.
+
+Binary format (version 1)
+-------------------------
+
+All integers are LEB128 varints (:func:`repro.encoding.varint.encode_uvarint`),
+so every field is byte-aligned and the payload can be sliced without
+copying::
+
+    magic       4 bytes   b"RLS1"
+    scheme      uvarint length + that many bytes of UTF-8 scheme name
+    params      uvarint length + that many bytes of canonical JSON
+                (sorted keys) holding the scheme's constructor parameters
+    n           uvarint   number of labels; nodes are 0 .. n-1
+    bit_lens    n uvarints, the exact bit length of each label
+    payload     concatenation of the packed labels, in node order;
+                label i occupies ceil(bit_lens[i] / 8) bytes, MSB-first,
+                zero-padded at the end of its last byte
+
+Byte offsets into the payload are reconstructed from ``bit_lens`` at load
+time, so the index costs one varint per label on disk while lookups stay
+O(1) in memory.
+"""
+
+from repro.store.label_store import STORE_MAGIC, LabelStore, StoreError
+from repro.store.query_engine import QueryEngine
+
+__all__ = ["LabelStore", "QueryEngine", "StoreError", "STORE_MAGIC"]

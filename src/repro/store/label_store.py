@@ -1,0 +1,219 @@
+"""The packed label store: one buffer, an offset index, save/load.
+
+See the package docstring of :mod:`repro.store` for the binary format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.encoding.bitio import Bits
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+
+#: magic prefix of a serialised store, "Repro Label Store v1"
+STORE_MAGIC = b"RLS1"
+
+
+class StoreError(ValueError):
+    """Raised when a store file is malformed or inconsistent."""
+
+
+class LabelStore:
+    """All labels of one encoded tree, packed into a contiguous buffer.
+
+    A store is immutable once built.  It knows which scheme produced it
+    (``scheme_name`` + ``scheme_params``, the spec resolved back through
+    :func:`repro.core.registry.make_any_scheme`) but holds no parsed labels
+    and no tree — only bits.
+    """
+
+    def __init__(
+        self,
+        scheme_name: str,
+        scheme_params: dict,
+        bit_lengths: list[int],
+        payload: bytes,
+    ) -> None:
+        self.scheme_name = scheme_name
+        self.scheme_params = dict(scheme_params)
+        self._bit_lengths = list(bit_lengths)
+        self._payload = bytes(payload)
+        self._view = memoryview(self._payload)
+
+        offsets = [0]
+        for bits in self._bit_lengths:
+            if bits < 0:
+                raise StoreError("negative label bit length")
+            offsets.append(offsets[-1] + (bits + 7) // 8)
+        if offsets[-1] != len(self._payload):
+            raise StoreError(
+                f"payload is {len(self._payload)} bytes but the index "
+                f"describes {offsets[-1]}"
+            )
+        self._offsets = offsets
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_labels(cls, scheme, labels: dict[int, object]) -> "LabelStore":
+        """Pack the labels ``scheme.encode`` produced for nodes ``0..n-1``."""
+        n = len(labels)
+        if set(labels) != set(range(n)):
+            raise StoreError("labels must be keyed by the nodes 0..n-1")
+        bit_lengths: list[int] = []
+        chunks: list[bytes] = []
+        for node in range(n):
+            bits = labels[node].to_bits()
+            bit_lengths.append(len(bits))
+            chunks.append(bits.to_bytes())
+        return cls(
+            scheme_name=scheme.name,
+            scheme_params=scheme.params(),
+            bit_lengths=bit_lengths,
+            payload=b"".join(chunks),
+        )
+
+    @classmethod
+    def encode_tree(cls, scheme, tree) -> "LabelStore":
+        """Encode ``tree`` with ``scheme`` and pack the result."""
+        return cls.from_labels(scheme, scheme.encode(tree))
+
+    # -- lookups -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bit_lengths)
+
+    @property
+    def n(self) -> int:
+        """Number of stored labels (nodes are ``0..n-1``)."""
+        return len(self._bit_lengths)
+
+    def bit_length(self, node: int) -> int:
+        """Exact size of one label in bits."""
+        self._check_node(node)
+        return self._bit_lengths[node]
+
+    def raw(self, node: int) -> memoryview:
+        """Zero-copy view of one label's packed bytes."""
+        self._check_node(node)
+        return self._view[self._offsets[node] : self._offsets[node + 1]]
+
+    def label_bits(self, node: int) -> Bits:
+        """One label as a :class:`Bits` value (unpacked on demand)."""
+        self._check_node(node)
+        return Bits.from_bytes(self.raw(node), self._bit_lengths[node])
+
+    def iter_bits(self):
+        """All labels in node order."""
+        for node in range(self.n):
+            yield self.label_bits(node)
+
+    def make_scheme(self):
+        """Rebuild the scheme that produced this store (registry lookup)."""
+        from repro.core.registry import make_any_scheme
+
+        return make_any_scheme(self.scheme_name, **self.scheme_params)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self._bit_lengths):
+            raise StoreError(f"node {node} out of range [0, {len(self._bit_lengths)})")
+
+    # -- space accounting ----------------------------------------------------
+
+    @property
+    def total_label_bits(self) -> int:
+        """Sum of the exact label sizes (the honest space measure)."""
+        return sum(self._bit_lengths)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of packed label payload (labels padded to byte boundaries)."""
+        return len(self._payload)
+
+    @property
+    def max_label_bits(self) -> int:
+        """Largest stored label, in bits (the quantity the paper bounds)."""
+        return max(self._bit_lengths, default=0)
+
+    @property
+    def file_bytes(self) -> int:
+        """Size of the serialised store, header and index included.
+
+        Computed arithmetically — no serialisation happens here.
+        """
+        name = self.scheme_name.encode("utf-8")
+        params = json.dumps(self.scheme_params, sort_keys=True).encode("utf-8")
+        return (
+            len(STORE_MAGIC)
+            + len(encode_uvarint(len(name)))
+            + len(name)
+            + len(encode_uvarint(len(params)))
+            + len(params)
+            + len(encode_uvarint(self.n))
+            + sum(len(encode_uvarint(bits)) for bits in self._bit_lengths)
+            + len(self._payload)
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the store (see the format in the package docstring)."""
+        name = self.scheme_name.encode("utf-8")
+        params = json.dumps(self.scheme_params, sort_keys=True).encode("utf-8")
+        parts = [
+            STORE_MAGIC,
+            encode_uvarint(len(name)),
+            name,
+            encode_uvarint(len(params)),
+            params,
+            encode_uvarint(self.n),
+        ]
+        parts.extend(encode_uvarint(bits) for bits in self._bit_lengths)
+        parts.append(self._payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data) -> "LabelStore":
+        """Parse a store serialised by :meth:`to_bytes`."""
+        data = bytes(data)
+        if data[: len(STORE_MAGIC)] != STORE_MAGIC:
+            raise StoreError(
+                f"not a label store (expected magic {STORE_MAGIC!r})"
+            )
+        pos = len(STORE_MAGIC)
+        try:
+            name_len, pos = decode_uvarint(data, pos)
+            name = data[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            params_len, pos = decode_uvarint(data, pos)
+            params = json.loads(data[pos : pos + params_len].decode("utf-8"))
+            pos += params_len
+            n, pos = decode_uvarint(data, pos)
+            bit_lengths = []
+            for _ in range(n):
+                bits, pos = decode_uvarint(data, pos)
+                bit_lengths.append(bits)
+        except ValueError as error:
+            raise StoreError(f"corrupt store header: {error}") from error
+        payload = data[pos:]
+        return cls(name, params, bit_lengths, payload)
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Write the store to ``path``; returns the number of bytes written."""
+        blob = self.to_bytes()
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        return len(blob)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "LabelStore":
+        """Read a store written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LabelStore(scheme={self.scheme_name!r}, n={self.n}, "
+            f"total_bits={self.total_label_bits})"
+        )

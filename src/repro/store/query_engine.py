@@ -1,0 +1,123 @@
+"""Query serving on top of a :class:`repro.store.LabelStore`.
+
+The engine is decoder-only: it sees packed bits, never the tree.  Parsing a
+label (bit string -> label object) dominates CPython query cost, so the
+engine keeps a bounded LRU cache of parsed labels and offers batch entry
+points that parse each distinct endpoint exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
+from repro.store.label_store import LabelStore
+
+
+class QueryEngine:
+    """Answers queries from a packed store through ``scheme.query``.
+
+    ``scheme`` may be omitted, in which case it is rebuilt from the spec the
+    store carries.  The semantics of one query result follow the scheme's
+    family (``scheme.kind``): an exact distance, a distance-or-``None``
+    bounded answer, or a (1+eps)-approximation.
+    """
+
+    def __init__(self, store: LabelStore, scheme=None, cache_size: int = 4096) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        self.store = store
+        self.scheme = scheme if scheme is not None else store.make_scheme()
+        self._cache: OrderedDict[int, object] = OrderedDict()
+        self._cache_size = cache_size
+        #: parsed-label cache statistics, exposed for benchmarks and tuning
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @classmethod
+    def from_labels(cls, scheme, labels: dict[int, object], **kwargs) -> "QueryEngine":
+        """Pack ``labels`` into a fresh store and serve it."""
+        return cls(LabelStore.from_labels(scheme, labels), scheme=scheme, **kwargs)
+
+    @classmethod
+    def encode_tree(cls, scheme, tree, **kwargs) -> "QueryEngine":
+        """Encode ``tree``, pack the labels and serve them."""
+        return cls(LabelStore.encode_tree(scheme, tree), scheme=scheme, **kwargs)
+
+    @property
+    def n(self) -> int:
+        """Number of queryable nodes."""
+        return self.store.n
+
+    # -- label parsing -------------------------------------------------------
+
+    def parsed_label(self, node: int):
+        """The parsed label of ``node``, LRU-cached."""
+        cache = self._cache
+        if node in cache:
+            cache.move_to_end(node)
+            self.cache_hits += 1
+            return cache[node]
+        self.cache_misses += 1
+        label = self.scheme.parse(self.store.label_bits(node))
+        cache[node] = label
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+        return label
+
+    def _parse_batch(self, nodes: Iterable[int]) -> dict[int, object]:
+        """Parse each distinct node once, reusing (and warming) the cache."""
+        parsed: dict[int, object] = {}
+        for node in nodes:
+            if node not in parsed:
+                parsed[node] = self.parsed_label(node)
+        return parsed
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, u: int, v: int):
+        """One query; result semantics follow ``scheme.kind``."""
+        return self.scheme.query(self.parsed_label(u), self.parsed_label(v))
+
+    def distance(self, u: int, v: int):
+        """Alias of :meth:`query` for the common exact-scheme case."""
+        return self.query(u, v)
+
+    def batch_query(self, pairs: Sequence[tuple[int, int]]) -> list:
+        """Answer many queries, parsing each distinct endpoint once."""
+        parsed = self._parse_batch(node for pair in pairs for node in pair)
+        query = self.scheme.query
+        return [query(parsed[u], parsed[v]) for u, v in pairs]
+
+    def batch_distance(self, pairs: Sequence[tuple[int, int]]) -> list:
+        """Alias of :meth:`batch_query` for the common exact-scheme case."""
+        return self.batch_query(pairs)
+
+    def distance_matrix(self, nodes: Sequence[int] | None = None) -> list[list]:
+        """All pairwise answers over ``nodes`` (default: every node).
+
+        Each label is parsed once; the matrix is symmetric for every scheme
+        in this library but is computed entry-by-entry all the same, so the
+        engine stays agnostic of the scheme's internals.
+        """
+        targets = list(range(self.store.n)) if nodes is None else list(nodes)
+        parsed = [self.parsed_label(node) for node in targets]
+        query = self.scheme.query
+        return [[query(a, b) for b in parsed] for a in parsed]
+
+    # -- cache management ----------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters and current occupancy of the parsed-label cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "max_size": self._cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all parsed labels (counters included)."""
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0

@@ -11,7 +11,7 @@ from repro.core.approximate import ApproximateLabel, ApproximateScheme, rounded_
 from repro.generators.workloads import make_tree
 from repro.oracles.exact_oracle import TreeDistanceOracle
 
-from conftest import parent_array_trees
+from repro.testing import parent_array_trees
 
 EPSILONS = [1.0, 0.5, 0.25, 0.1, 0.05]
 

@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 from repro.encoding.bitio import BitReader, BitWriter
 from repro.encoding.monotone import MonotoneSequence, UnaryBitVectorView
 
-from conftest import monotone_sequences
+from repro.testing import monotone_sequences
 
 
 class TestMonotoneSequence:

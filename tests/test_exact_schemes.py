@@ -18,7 +18,7 @@ from repro.core.separator import SeparatorScheme
 from repro.generators.workloads import make_tree
 from repro.oracles.exact_oracle import TreeDistanceOracle
 
-from conftest import parent_array_trees, weighted_trees
+from repro.testing import parent_array_trees, weighted_trees
 
 ALL_EXACT_SCHEMES = [
     NaiveListScheme,

@@ -21,7 +21,7 @@ from repro.oracles.exact_oracle import TreeDistanceOracle
 from repro.trees.heavy_path import HeavyPathDecomposition
 from repro.trees.tree import RootedTree
 
-from conftest import parent_array_trees
+from repro.testing import parent_array_trees
 
 
 def expected_answer(oracle, u, v, k):

@@ -27,7 +27,7 @@ from repro.oracles.distance_matrix import DistanceMatrix
 from repro.oracles.exact_oracle import TreeDistanceOracle
 from repro.trees.tree import RootedTree
 
-from conftest import weighted_trees
+from repro.testing import weighted_trees
 
 
 class TestDistanceMatrix:

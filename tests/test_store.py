@@ -1,0 +1,263 @@
+"""Tests for the packed label store and the batch query engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.label_stats import measure_store_throughput
+from repro.core.approximate import ApproximateScheme
+from repro.core.freedman import FreedmanScheme
+from repro.core.kdistance import KDistanceScheme
+from repro.core.registry import SCHEMES, make_any_scheme
+from repro.encoding.bitio import BitError, Bits
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+from repro.generators.workloads import make_tree, random_pairs
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.store import STORE_MAGIC, LabelStore, QueryEngine, StoreError
+from repro.testing import parent_array_trees
+
+# every registered scheme as a (factory, kind) pair: the full exact registry
+# (ablation aliases included) plus one bounded and one approximate instance
+ALL_REGISTERED = [
+    *[(name, factory, "exact") for name, factory in sorted(SCHEMES.items())],
+    ("k-distance", lambda: KDistanceScheme(4), "bounded"),
+    ("approximate", lambda: ApproximateScheme(0.5), "approximate"),
+]
+
+
+def expected_answer(kind, scheme, exact):
+    """The acceptable answer(s) for one query given the oracle distance."""
+    if kind == "exact":
+        return lambda answer: answer == exact
+    if kind == "bounded":
+        return lambda answer: answer == (exact if exact <= scheme.k else None)
+    return lambda answer: (
+        answer == 0
+        if exact == 0
+        else exact - 1e-9 <= answer <= (1 + scheme.epsilon) * exact + 1e-9
+    )
+
+
+class TestByteCodes:
+    @given(st.integers(min_value=0, max_value=2**60))
+    def test_uvarint_roundtrip(self, value):
+        blob = encode_uvarint(value)
+        decoded, pos = decode_uvarint(blob)
+        assert decoded == value
+        assert pos == len(blob)
+
+    def test_uvarint_stream(self):
+        blob = b"".join(encode_uvarint(v) for v in [0, 1, 127, 128, 300, 2**40])
+        pos, values = 0, []
+        while pos < len(blob):
+            value, pos = decode_uvarint(blob, pos)
+            values.append(value)
+        assert values == [0, 1, 127, 128, 300, 2**40]
+
+    def test_uvarint_truncated(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80")
+
+    @given(st.text(alphabet="01", max_size=70))
+    def test_bits_pack_roundtrip(self, data):
+        bits = Bits(data)
+        assert Bits.from_bytes(bits.to_bytes(), len(bits)) == bits
+
+    def test_bits_from_memoryview(self):
+        packed = Bits("10110011101").to_bytes()
+        assert Bits.from_bytes(memoryview(packed), 11) == Bits("10110011101")
+
+    def test_bits_unpack_short_buffer(self):
+        with pytest.raises(BitError):
+            Bits.from_bytes(b"\xff", 9)
+
+
+class TestLabelStoreRoundTrip:
+    @pytest.mark.parametrize("name,factory,kind", ALL_REGISTERED)
+    def test_encode_save_load_query(self, tmp_path, name, factory, kind):
+        """The satellite round trip: encode -> save -> load -> query."""
+        scheme = factory()
+        tree = make_tree("random", 80, seed=11)
+        oracle = TreeDistanceOracle(tree)
+        labels = scheme.encode(tree)
+        store = LabelStore.from_labels(scheme, labels)
+
+        path = tmp_path / f"{name}.bin"
+        written = store.save(path)
+        assert written == path.stat().st_size == store.file_bytes
+
+        loaded = LabelStore.load(path)
+        assert loaded.n == tree.n
+        assert loaded.scheme_name == scheme.name
+        assert loaded.scheme_params == scheme.params()
+        for node in tree.nodes():
+            assert loaded.label_bits(node) == labels[node].to_bits()
+            assert loaded.bit_length(node) == labels[node].bit_length()
+
+        engine = QueryEngine(loaded)
+        for u, v in random_pairs(tree, 60, seed=4):
+            check = expected_answer(kind, scheme, oracle.distance(u, v))
+            assert check(engine.query(u, v))
+
+    def test_space_accounting(self):
+        scheme = FreedmanScheme()
+        tree = make_tree("random", 60, seed=2)
+        labels = scheme.encode(tree)
+        store = LabelStore.from_labels(scheme, labels)
+        assert store.total_label_bits == sum(l.bit_length() for l in labels.values())
+        assert store.max_label_bits == max(l.bit_length() for l in labels.values())
+        assert store.payload_bytes == sum(
+            (l.bit_length() + 7) // 8 for l in labels.values()
+        )
+        assert store.file_bytes > store.payload_bytes  # header + index
+
+    def test_raw_is_zero_copy(self):
+        scheme = FreedmanScheme()
+        store = LabelStore.encode_tree(scheme, make_tree("random", 30, seed=5))
+        view = store.raw(7)
+        assert isinstance(view, memoryview)
+        assert Bits.from_bytes(view, store.bit_length(7)) == store.label_bits(7)
+
+    def test_iter_bits_matches_lookups(self):
+        store = LabelStore.encode_tree(FreedmanScheme(), make_tree("path", 12))
+        assert list(store.iter_bits()) == [store.label_bits(i) for i in range(store.n)]
+
+    def test_single_node_tree(self, tmp_path):
+        from repro.trees.tree import RootedTree
+
+        store = LabelStore.encode_tree(FreedmanScheme(), RootedTree([None]))
+        path = tmp_path / "one.bin"
+        store.save(path)
+        loaded = LabelStore.load(path)
+        assert QueryEngine(loaded).query(0, 0) == 0
+
+
+class TestLabelStoreErrors:
+    def test_bad_magic(self):
+        with pytest.raises(StoreError):
+            LabelStore.from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_header(self):
+        blob = LabelStore.encode_tree(FreedmanScheme(), make_tree("path", 8)).to_bytes()
+        with pytest.raises(StoreError):
+            LabelStore.from_bytes(blob[: len(STORE_MAGIC) + 2])
+
+    def test_payload_index_mismatch(self):
+        with pytest.raises(StoreError):
+            LabelStore("freedman", {}, [9], b"\x00")  # 9 bits need 2 bytes
+
+    def test_bad_label_keys(self):
+        scheme = FreedmanScheme()
+        labels = scheme.encode(make_tree("path", 5))
+        labels[99] = labels.pop(0)
+        with pytest.raises(StoreError):
+            LabelStore.from_labels(scheme, labels)
+
+    def test_node_out_of_range(self):
+        store = LabelStore.encode_tree(FreedmanScheme(), make_tree("path", 5))
+        with pytest.raises(StoreError):
+            store.label_bits(5)
+
+    def test_unknown_scheme_spec(self):
+        with pytest.raises(KeyError):
+            make_any_scheme("no-such-scheme")
+
+    def test_alias_rejects_params(self):
+        with pytest.raises(ValueError):
+            make_any_scheme("freedman-no-fragments", k=3)
+
+
+class TestQueryEngine:
+    def test_batch_matches_single(self):
+        tree = make_tree("random", 120, seed=9)
+        engine = QueryEngine.encode_tree(FreedmanScheme(), tree)
+        pairs = random_pairs(tree, 150, seed=1)
+        assert engine.batch_distance(pairs) == [engine.query(u, v) for u, v in pairs]
+
+    def test_batch_parses_each_label_once(self):
+        tree = make_tree("random", 50, seed=3)
+        engine = QueryEngine.encode_tree(FreedmanScheme(), tree, cache_size=4096)
+        pairs = random_pairs(tree, 300, seed=2)
+        engine.batch_query(pairs)
+        distinct = {node for pair in pairs for node in pair}
+        assert engine.cache_misses == len(distinct)
+
+    def test_lru_eviction(self):
+        tree = make_tree("path", 40)
+        engine = QueryEngine.encode_tree(FreedmanScheme(), tree, cache_size=4)
+        for node in range(10):
+            engine.parsed_label(node)
+        info = engine.cache_info()
+        assert info["size"] == 4 and info["misses"] == 10
+        engine.parsed_label(9)  # most recent entry is still cached
+        assert engine.cache_hits == 1
+        engine.clear_cache()
+        assert engine.cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "max_size": 4,
+        }
+
+    def test_distance_matrix_matches_oracle(self):
+        tree = make_tree("random", 40, seed=6)
+        oracle = TreeDistanceOracle(tree)
+        engine = QueryEngine.encode_tree(FreedmanScheme(), tree)
+        assert engine.distance_matrix() == oracle.distance_matrix()
+        nodes = [3, 17, 0, 29]
+        assert engine.distance_matrix(nodes) == oracle.distance_matrix(nodes)
+
+    def test_scheme_rebuilt_from_store_spec(self):
+        tree = make_tree("random", 60, seed=8)
+        store = LabelStore.encode_tree(KDistanceScheme(3), tree)
+        engine = QueryEngine(LabelStore.from_bytes(store.to_bytes()))
+        assert isinstance(engine.scheme, KDistanceScheme)
+        assert engine.scheme.k == 3
+
+    def test_cache_size_validation(self):
+        store = LabelStore.encode_tree(FreedmanScheme(), make_tree("path", 4))
+        with pytest.raises(ValueError):
+            QueryEngine(store, cache_size=0)
+
+    def test_throughput_measurement_consistency(self):
+        tree = make_tree("random", 64, seed=4)
+        row = measure_store_throughput(FreedmanScheme(), tree, random_pairs(tree, 50, 1))
+        assert row["pairs"] == 50 and row["speedup"] > 0
+
+
+class TestBatchAgainstOracleHypothesis:
+    """Satellite: ``batch_distance`` vs the oracle on random trees."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(parent_array_trees(max_nodes=24))
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_exact_schemes(self, name, tree):
+        engine = QueryEngine.encode_tree(SCHEMES[name](), tree)
+        oracle = TreeDistanceOracle(tree)
+        pairs = [(u, v) for u in tree.nodes() for v in tree.nodes()]
+        assert engine.batch_distance(pairs) == oracle.batch_distance(pairs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(parent_array_trees(max_nodes=20), st.integers(min_value=1, max_value=6))
+    def test_bounded_scheme(self, tree, k):
+        engine = QueryEngine.encode_tree(KDistanceScheme(k), tree)
+        oracle = TreeDistanceOracle(tree)
+        pairs = [(u, v) for u in tree.nodes() for v in tree.nodes()]
+        expected = [d if d <= k else None for d in oracle.batch_distance(pairs)]
+        assert engine.batch_query(pairs) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(parent_array_trees(max_nodes=20))
+    def test_approximate_scheme(self, tree):
+        epsilon = 0.5
+        engine = QueryEngine.encode_tree(ApproximateScheme(epsilon), tree)
+        oracle = TreeDistanceOracle(tree)
+        pairs = [(u, v) for u in tree.nodes() for v in tree.nodes()]
+        for (u, v), answer in zip(pairs, engine.batch_query(pairs)):
+            exact = oracle.distance(u, v)
+            if exact == 0:
+                assert answer == 0
+            else:
+                assert exact - 1e-9 <= answer <= (1 + epsilon) * exact + 1e-9
