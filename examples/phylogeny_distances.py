@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 
-from repro import AlstrupScheme, ApproximateScheme, TreeDistanceOracle
+from repro import DistanceIndex, TreeDistanceOracle
 from repro.trees.tree import RootedTree
 
 
@@ -38,23 +38,22 @@ def main() -> None:
     oracle = TreeDistanceOracle(tree)
     print(f"phylogeny with {taxa} taxa ({tree.n} tree nodes), height {tree.height()}")
 
-    exact = AlstrupScheme()
-    exact_labels = exact.encode(tree)
-    exact_bits = max(label.bit_length() for label in exact_labels.values())
+    exact = DistanceIndex.build(tree, "alstrup")
+    exact_bits = exact.stats()["max_label_bits"]
 
     print("\n eps    max label bits   worst stretch on 300 sampled pairs")
     rng = random.Random(9)
     pairs = [(rng.randrange(tree.n), rng.randrange(tree.n)) for _ in range(300)]
     for eps in (1.0, 0.25, 0.05):
-        scheme = ApproximateScheme(eps)
-        labels = scheme.encode(tree)
+        index = DistanceIndex.build(tree, f"approximate:epsilon={eps}")
         worst = 1.0
-        for u, v in pairs:
+        for (u, v), result in zip(pairs, index.batch(pairs)):
             reference = oracle.distance(u, v)
             if reference:
-                worst = max(worst, scheme.approximate_distance(labels[u], labels[v]) / reference)
-        bits = max(label.bit_length() for label in labels.values())
-        print(f" {eps:4.2f}   {bits:14d}   {worst:.3f}  (allowed {1 + eps:.2f})")
+                worst = max(worst, result.value / reference)
+        bits = index.stats()["max_label_bits"]
+        print(f" {eps:4.2f}   {bits:14d}   {worst:.3f}  "
+              f"(allowed {index.query(0, 0).ratio_bound:.2f})")
 
     print(f"\nexact labels for comparison: {exact_bits} bits")
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 
-from repro import FreedmanScheme, TreeDistanceOracle
+from repro import DistanceIndex, TreeDistanceOracle
 from repro.trees.builder import tree_from_edges
 
 
@@ -62,10 +62,10 @@ def main() -> None:
     print(f"network: {nodes} routers, {len(graph_edges)} links")
     print(f"spanning tree rooted at router 0, height {tree.height()}")
 
-    scheme = FreedmanScheme()
-    labels = scheme.encode(tree)
-    sizes = [label.bit_length() for label in labels.values()]
-    print(f"labels: max {max(sizes)} bits, average {sum(sizes) / len(sizes):.1f} bits")
+    index = DistanceIndex.build(tree, "freedman")
+    stats = index.stats()
+    print(f"labels: max {stats['max_label_bits']} bits, "
+          f"average {stats['total_label_bits'] / stats['n']:.1f} bits")
     print("each router stores only its own label; no routing table needed\n")
 
     oracle = TreeDistanceOracle(tree)
@@ -73,7 +73,7 @@ def main() -> None:
     print("router pair      tree distance (from labels)   check")
     for _ in range(5):
         a, b = rng.randrange(nodes), rng.randrange(nodes)
-        from_labels = scheme.distance(labels[a], labels[b])
+        from_labels = index.query(a, b).value
         print(f"{a:6d} -> {b:6d}   {from_labels:10d}                  {oracle.distance(a, b)}")
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import random
 
-from repro import KDistanceScheme, TreeDistanceOracle
+from repro import DistanceIndex, TreeDistanceOracle
 from repro.trees.tree import RootedTree
 
 
@@ -41,22 +41,25 @@ def main() -> None:
     print(f"document with {document.n} elements, height {document.height()}")
 
     for k in (2, 4, 8):
-        scheme = KDistanceScheme(k)
-        labels = scheme.encode(document)
-        sizes = [label.bit_length() for label in labels.values()]
+        index = DistanceIndex.build(document, f"k-distance:k={k}")
+        stats = index.stats()
         print(
-            f"\nk = {k}: max label {max(sizes)} bits "
+            f"\nk = {k}: max label {stats['max_label_bits']} bits "
             f"(log2 n = {math.log2(document.n):.1f} bits), "
-            f"avg {sum(sizes) / len(sizes):.1f} bits"
+            f"avg {stats['total_label_bits'] / stats['n']:.1f} bits"
         )
 
         rng = random.Random(k)
         shown = 0
         while shown < 4:
             u, v = rng.randrange(document.n), rng.randrange(document.n)
-            answer = scheme.bounded_distance(labels[u], labels[v])
+            result = index.query(u, v)
             truth = oracle.distance(u, v)
-            verdict = f"distance {answer}" if answer is not None else f"further than {k}"
+            verdict = (
+                f"distance {result.value}"
+                if result.within_bound
+                else f"further than {k}"
+            )
             print(f"  elements {u:5d} / {v:5d}: {verdict:18s} (exact distance {truth})")
             shown += 1
 

@@ -2,33 +2,48 @@
 
 Freedman, Gawrychowski, Nicholson, Weimann (PODC 2017, arXiv:1608.00212).
 
-Public API highlights
----------------------
-
-* :class:`repro.trees.RootedTree` and the builders in :mod:`repro.trees`;
-* the exact schemes :class:`repro.core.FreedmanScheme` (the paper's
-  1/4 log² n contribution), :class:`repro.core.AlstrupScheme` (1/2 log² n),
-  :class:`repro.core.HLDScheme`, :class:`repro.core.SeparatorScheme`;
-* the bounded scheme :class:`repro.core.KDistanceScheme` (Section 4);
-* the approximate scheme :class:`repro.core.ApproximateScheme` (Section 5);
-* the level-ancestor scheme :class:`repro.core.LevelAncestorScheme` and the
-  universal-tree construction of Lemma 3.6 in :mod:`repro.universal`;
-* the lower-bound instance families in :mod:`repro.lowerbounds`;
-* the measurement harness in :mod:`repro.analysis`;
-* the packed :class:`repro.store.LabelStore` and batch
-  :class:`repro.store.QueryEngine` serving layer (``repro-labels encode`` /
-  ``repro-labels query`` on the command line).
+The canonical public API lives in :mod:`repro.api` and is re-exported here:
+one :class:`DistanceIndex` handle per encoded tree, string scheme specs,
+typed :class:`QueryResult` answers and the multi-tree :class:`IndexCatalog`.
 
 Quick start::
 
-    from repro import FreedmanScheme, random_prufer_tree
+    from repro import DistanceIndex, random_prufer_tree
 
     tree = random_prufer_tree(1000, seed=7)
-    scheme = FreedmanScheme()
-    labels = scheme.encode(tree)
-    print(scheme.distance(labels[3], labels[42]))
+    index = DistanceIndex.build(tree, "freedman")
+    print(index.query(3, 42).value)       # exact tree distance
+    index.save("labels.bin")              # ship the labels, discard the tree
+
+Research surface (stable, but secondary to :mod:`repro.api`):
+
+* :class:`repro.trees.RootedTree` and the builders in :mod:`repro.trees`;
+* the scheme classes in :mod:`repro.core` (:class:`FreedmanScheme` is the
+  paper's 1/4 log² n contribution) for direct label-level experiments;
+* the lower-bound instance families in :mod:`repro.lowerbounds`;
+* the measurement harness in :mod:`repro.analysis`;
+* the packed-store internals in :mod:`repro.store` (wrapped by
+  :class:`DistanceIndex`; ``repro-labels encode`` / ``query`` / ``catalog``
+  on the command line).
+
+Importing ``LabelStore`` / ``QueryEngine`` from the top level is deprecated;
+use :class:`repro.api.DistanceIndex` (or :mod:`repro.store` directly in
+measurement code).
 """
 
+import warnings
+
+from repro.api import (
+    DistanceIndex,
+    IndexCatalog,
+    QueryResult,
+    SpecError,
+    available_specs,
+    format_spec,
+    make_scheme_from_spec,
+    parse_spec,
+    scheme_spec,
+)
 from repro.core import (
     AdjacencyScheme,
     AlstrupScheme,
@@ -39,6 +54,8 @@ from repro.core import (
     LevelAncestorScheme,
     NaiveListScheme,
     SeparatorScheme,
+    make_any_scheme,
+    make_scheme,
 )
 from repro.generators import (
     balanced_binary_tree,
@@ -47,18 +64,50 @@ from repro.generators import (
     random_prufer_tree,
     star_tree,
 )
-from repro.core import make_any_scheme, make_scheme
 from repro.oracles import TreeDistanceOracle
-from repro.store import LabelStore, QueryEngine
 from repro.trees import RootedTree, tree_from_edges, tree_from_parents
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: pre-façade names kept importable as thin deprecation shims
+_DEPRECATED = {
+    "LabelStore": ("repro.store", "repro.api.DistanceIndex"),
+    "QueryEngine": ("repro.store", "repro.api.DistanceIndex"),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        module, replacement = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {name} from 'repro' is deprecated; use {replacement} "
+            f"(or {module}.{name} in internal/measurement code)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
+    # canonical API (repro.api)
+    "DistanceIndex",
+    "IndexCatalog",
+    "QueryResult",
+    "SpecError",
+    "parse_spec",
+    "format_spec",
+    "scheme_spec",
+    "make_scheme_from_spec",
+    "available_specs",
+    # trees and oracles
     "RootedTree",
     "tree_from_parents",
     "tree_from_edges",
     "TreeDistanceOracle",
+    # scheme classes (research surface)
     "FreedmanScheme",
     "AlstrupScheme",
     "HLDScheme",
@@ -68,10 +117,12 @@ __all__ = [
     "ApproximateScheme",
     "AdjacencyScheme",
     "LevelAncestorScheme",
-    "LabelStore",
-    "QueryEngine",
     "make_scheme",
     "make_any_scheme",
+    # deprecated shims (emit DeprecationWarning on access)
+    "LabelStore",
+    "QueryEngine",
+    # tree generators
     "random_prufer_tree",
     "path_tree",
     "star_tree",

@@ -17,13 +17,10 @@ from repro.analysis.label_stats import (
     measure_scheme,
     measure_store_throughput,
 )
-from repro.core.alstrup import AlstrupScheme
-from repro.core.approximate import ApproximateScheme
 from repro.core.freedman import FreedmanScheme
-from repro.core.hld import HLDScheme
 from repro.core.kdistance import KDistanceScheme
 from repro.core.level_ancestor import LevelAncestorScheme
-from repro.core.separator import SeparatorScheme
+from repro.core.registry import make_scheme_from_spec
 from repro.generators.workloads import make_tree, random_pairs
 from repro.lowerbounds.bounds import (
     alstrup_upper_bound_bits,
@@ -52,12 +49,20 @@ from repro.trees.heavy_path import HeavyPathDecomposition
 from repro.universal.goldberg import goldberg_livshits_log2_size, lemma_3_6_size_bound
 from repro.universal.universal_tree import universal_tree_for_small_n
 
+#: default exact schemes as spec strings (see :func:`repro.core.registry.parse_spec`)
 DEFAULT_EXACT_SCHEMES = (
-    FreedmanScheme,
-    AlstrupScheme,
-    HLDScheme,
-    SeparatorScheme,
+    "freedman",
+    "alstrup",
+    "hld-fixed",
+    "separator",
 )
+
+
+def _make(scheme):
+    """Resolve one schemes-list entry: spec string, factory or instance."""
+    if isinstance(scheme, str):
+        return make_scheme_from_spec(scheme)
+    return scheme() if callable(scheme) else scheme
 
 
 def run_table1_exact(
@@ -76,8 +81,8 @@ def run_table1_exact(
             tree = make_tree(family, n, seed)
             oracle = TreeDistanceOracle(tree)
             pairs = random_pairs(tree, queries, seed)
-            for scheme_factory in schemes:
-                scheme = scheme_factory()
+            for entry in schemes:
+                scheme = _make(entry)
                 measurement = measure_scheme(scheme, tree, pairs, family, oracle)
                 row = measurement.as_row()
                 row["paper_upper_quarter"] = round(exact_upper_bound_bits(n), 1)
@@ -104,7 +109,7 @@ def run_table1_kdistance(
         log_n = math.log2(n)
         k_values = ks or [1, 2, 4, 8, int(log_n), 4 * int(log_n), 16 * int(log_n)]
         for k in k_values:
-            scheme = KDistanceScheme(k)
+            scheme = _make(f"k-distance:k={k}")
             measurement = measure_bounded_scheme(scheme, tree, pairs, family, oracle)
             row = measurement.as_row()
             if k < log_n:
@@ -133,7 +138,7 @@ def run_table1_approx(
         oracle = TreeDistanceOracle(tree)
         pairs = random_pairs(tree, queries, seed)
         for eps in epsilons:
-            scheme = ApproximateScheme(eps)
+            scheme = _make(f"approximate:epsilon={eps!r}")
             measurement = measure_approximate_scheme(scheme, tree, pairs, family, oracle)
             row = measurement.as_row()
             row["paper_bound"] = round(approx_bound_bits(n, eps), 1)
@@ -159,8 +164,8 @@ def run_store_throughput(
     for n in sizes:
         tree = make_tree(family, n, seed)
         pairs = random_pairs(tree, queries, seed)
-        for scheme_factory in schemes:
-            row = measure_store_throughput(scheme_factory(), tree, pairs)
+        for entry in schemes:
+            row = measure_store_throughput(_make(entry), tree, pairs)
             row["family"] = family
             row["single_qps"] = round(row["single_qps"], 1)
             row["batch_qps"] = round(row["batch_qps"], 1)

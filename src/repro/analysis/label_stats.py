@@ -186,14 +186,16 @@ def measure_store_throughput(
     tree: RootedTree,
     pairs: list[tuple[int, int]],
 ) -> dict:
-    """Compare per-pair ``query_from_bits`` against a batched engine run.
+    """Compare per-pair ``query_from_bits`` against a batched façade run.
 
     Returns a row with both throughputs and the speedup; used by the
     ``bench_query_time`` benchmark and the CLI ``query`` command.
+    ``scheme`` is a spec string or a live scheme instance.
     """
-    from repro.store.query_engine import QueryEngine
+    from repro.api import DistanceIndex
 
-    store = LabelStore.encode_tree(scheme, tree)
+    index = DistanceIndex.build(tree, scheme)
+    scheme, store = index.scheme, index.store
 
     start = time.perf_counter()
     single = [
@@ -202,15 +204,14 @@ def measure_store_throughput(
     ]
     single_seconds = time.perf_counter() - start
 
-    engine = QueryEngine(store, scheme=scheme)
     start = time.perf_counter()
-    batched = engine.batch_query(pairs)
+    batched = index.batch(pairs, raw=True)
     batch_seconds = time.perf_counter() - start
 
     if single != batched:
         raise AssertionError("batched answers disagree with per-pair answers")
     return {
-        "scheme": scheme.name,
+        "scheme": index.spec,
         "n": tree.n,
         "pairs": len(pairs),
         "single_qps": len(pairs) / single_seconds if single_seconds else float("inf"),

@@ -1,0 +1,65 @@
+"""``repro.api`` — the canonical public API of the reproduction.
+
+Everything a user of the library needs lives behind four names:
+
+:class:`DistanceIndex`
+    one handle per encoded tree: ``build(tree, scheme="freedman")``,
+    ``open(path)``, ``save(path)``, ``query(u, v)``, ``batch(pairs)``,
+    ``matrix(nodes)``, ``stats()``.  No labels, bit strings or scheme
+    classes at the call site.
+
+:class:`QueryResult`
+    the typed answer every query returns — ``value`` plus ``is_exact``,
+    ``within_bound`` and ``ratio_bound`` — so exact, k-distance and
+    (1+eps)-approximate schemes share one result shape.  Hot paths pass
+    ``raw=True`` to skip the wrapper.
+
+:class:`IndexCatalog`
+    many named indexes in one file with lazy per-member open:
+    ``add(name, index)``, ``query(name, u, v)``, ``save``/``load``.
+
+string scheme specs
+    schemes are chosen by strings such as ``"freedman"``,
+    ``"k-distance:k=4"`` or ``"approximate:epsilon=0.1"``;
+    :func:`parse_spec` / :func:`format_spec` round-trip them and
+    :data:`available_specs` lists every registered name.
+
+The internal layers (:mod:`repro.core` schemes, :mod:`repro.store`) remain
+importable for measurement and research code but are not part of this
+surface; ``tests/test_public_api.py`` pins ``__all__`` exactly so changes
+here are always deliberate.
+"""
+
+from __future__ import annotations
+
+from repro.api.catalog import CATALOG_MAGIC, CatalogError, IndexCatalog
+from repro.api.index import DistanceIndex
+from repro.api.result import QueryResult
+from repro.core.registry import (
+    ALL_SCHEME_NAMES,
+    SpecError,
+    format_spec,
+    make_scheme_from_spec,
+    parse_spec,
+    scheme_spec,
+)
+
+
+def available_specs() -> tuple[str, ...]:
+    """Every registered scheme name, usable as (the start of) a spec string."""
+    return ALL_SCHEME_NAMES
+
+
+__all__ = [
+    "DistanceIndex",
+    "IndexCatalog",
+    "QueryResult",
+    "CatalogError",
+    "SpecError",
+    "parse_spec",
+    "format_spec",
+    "scheme_spec",
+    "make_scheme_from_spec",
+    "available_specs",
+    "CATALOG_MAGIC",
+]

@@ -1,0 +1,70 @@
+"""Typed query results: one shape for exact, bounded and approximate answers.
+
+The raw ``scheme.query`` return value is family-specific — an exact distance,
+a distance-or-``None`` cutoff answer, or a (1+eps)-approximation — which
+forces callers into ``int | None | float`` guesswork.  :class:`QueryResult`
+carries the value together with its semantics so call sites can branch on
+flags instead of types:
+
+* ``is_exact`` — the value is the true tree distance;
+* ``within_bound`` — the scheme could answer at all (only ever ``False``
+  for a k-distance scheme when the distance exceeds ``k``);
+* ``ratio_bound`` — the guaranteed multiplicative bound: ``value`` lies in
+  ``[d, ratio_bound * d]`` (``1.0`` when exact, ``None`` when unanswered).
+
+:func:`result_wrapper` builds the per-family constructor once so the hot
+query path pays one closure call per wrapped answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """One distance answer plus the guarantees that come with it."""
+
+    #: the answer: an exact or approximate distance, or ``None`` when a
+    #: bounded scheme only knows "further than k"
+    value: int | float | None
+    #: whether ``value`` is the true tree distance
+    is_exact: bool
+    #: whether the scheme produced an answer (``False`` only for bounded
+    #: schemes when the distance exceeds their cutoff ``k``)
+    within_bound: bool
+    #: multiplicative guarantee: ``value <= ratio_bound * d(u, v)``;
+    #: ``1.0`` for exact answers, ``1 + eps`` for approximate ones,
+    #: ``None`` when there is no answer
+    ratio_bound: float | None
+
+    def __bool__(self) -> bool:
+        """Truthy iff the scheme produced an answer."""
+        return self.within_bound
+
+    def __repr__(self) -> str:
+        if not self.within_bound:
+            return "QueryResult(beyond bound)"
+        tag = "exact" if self.is_exact else f"<= {self.ratio_bound}x"
+        return f"QueryResult({self.value}, {tag})"
+
+
+def result_wrapper(scheme) -> Callable[[object], QueryResult]:
+    """The raw-answer -> :class:`QueryResult` converter for one scheme.
+
+    Resolved once per index from ``scheme.kind`` so per-query wrapping is a
+    single call with no dispatch.
+    """
+    kind = scheme.kind
+    if kind == "exact":
+        return lambda value: QueryResult(value, True, True, 1.0)
+    if kind == "bounded":
+        beyond = QueryResult(None, False, False, None)
+        return lambda value: (
+            beyond if value is None else QueryResult(value, True, True, 1.0)
+        )
+    if kind == "approximate":
+        ratio = 1.0 + scheme.epsilon
+        return lambda value: QueryResult(value, False, True, ratio)
+    raise ValueError(f"unknown scheme kind {kind!r}")

@@ -1,26 +1,32 @@
 """Command-line interface: ``repro-labels <command>``.
 
-Commands mirror the experiment index of DESIGN.md so every table/figure of
-the paper can be regenerated from the shell::
-
-    repro-labels table1-exact --sizes 256 1024 4096
-    repro-labels table1-kdistance --sizes 1024
-    repro-labels table1-approx
-    repro-labels fig1 | fig2 | fig4 | fig5
-    repro-labels demo --family random --n 1000
-
-The store workflow encodes a tree once into a packed label file and then
-answers queries from that file alone (no tree access)::
+The store workflow is built on the :mod:`repro.api` façade: ``encode``
+builds a :class:`~repro.api.DistanceIndex` and saves it, ``query`` opens
+one and answers from labels alone, and ``catalog`` packs many named
+indexes into one :class:`~repro.api.IndexCatalog` file and routes queries
+by name::
 
     repro-labels encode --scheme freedman --family random --n 1000 --out labels.bin
+    repro-labels encode --scheme k-distance:k=6 --out kd.bin
     repro-labels query labels.bin --pairs 1000          # random batched queries
     repro-labels query labels.bin --u 17 --v 1234       # one pair
+    repro-labels catalog add forest.cat --name core --scheme freedman --n 500
+    repro-labels catalog add forest.cat --name acl --scheme k-distance:k=4 --n 500
+    repro-labels catalog list forest.cat
+    repro-labels catalog query forest.cat --name core --u 3 --v 42
 
-``encode`` accepts any registry scheme name (``repro-labels encode --list``
-prints them); k-distance and approximate schemes take ``--k`` /
-``--epsilon``.  ``query`` rebuilds the scheme from the spec stored in the
-file header and reports batched vs per-pair throughput, and
-``store-bench`` runs the batched-vs-single comparison across schemes.
+``--scheme`` takes a spec string (``repro-labels encode --list`` prints the
+registered names); parameters ride in the spec (``approximate:epsilon=0.1``)
+or through the legacy ``--k`` / ``--epsilon`` flags.
+
+The experiment commands mirror the index of DESIGN.md so every table and
+figure of the paper can be regenerated from the shell::
+
+    repro-labels table1-exact --sizes 256 1024 4096
+    repro-labels table1-kdistance | table1-approx
+    repro-labels fig1 | fig2 | fig4 | fig5
+    repro-labels demo --family random --n 1000
+    repro-labels store-bench
 """
 
 from __future__ import annotations
@@ -45,6 +51,31 @@ def _add_size_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sizes", type=int, nargs="+", default=None)
     parser.add_argument("--queries", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_tree_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", default="random")
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_scheme_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheme",
+        default="freedman",
+        help="scheme spec, e.g. freedman, k-distance:k=4, approximate:epsilon=0.1",
+    )
+    parser.add_argument("--k", type=int, default=None, help="k for k-distance schemes")
+    parser.add_argument(
+        "--epsilon", type=float, default=None, help="epsilon for approximate schemes"
+    )
+
+
+def _add_query_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pairs", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--u", type=int, default=None)
+    parser.add_argument("--v", type=int, default=None)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,34 +105,44 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("fig5", help="regular-tree lower-bound instances")
 
     demo = commands.add_parser("demo", help="encode one tree and answer queries")
-    demo.add_argument("--family", default="random")
-    demo.add_argument("--n", type=int, default=1000)
-    demo.add_argument("--seed", type=int, default=0)
+    _add_tree_options(demo)
 
     encode = commands.add_parser(
-        "encode", help="encode a tree into a packed label-store file"
+        "encode", help="encode a tree into a distance-index file"
     )
-    encode.add_argument("--scheme", default="freedman")
-    encode.add_argument("--family", default="random")
-    encode.add_argument("--n", type=int, default=1000)
-    encode.add_argument("--seed", type=int, default=0)
-    encode.add_argument("--k", type=int, default=None, help="k for k-distance schemes")
-    encode.add_argument(
-        "--epsilon", type=float, default=None, help="epsilon for approximate schemes"
-    )
+    _add_scheme_options(encode)
+    _add_tree_options(encode)
     encode.add_argument("--out", default="labels.bin")
     encode.add_argument(
         "--list", action="store_true", help="list registered schemes and exit"
     )
 
     query = commands.add_parser(
-        "query", help="answer distance queries from a label-store file"
+        "query", help="answer distance queries from an index file"
     )
     query.add_argument("store", help="file written by the encode command")
-    query.add_argument("--pairs", type=int, default=1000)
-    query.add_argument("--seed", type=int, default=0)
-    query.add_argument("--u", type=int, default=None)
-    query.add_argument("--v", type=int, default=None)
+    _add_query_options(query)
+
+    catalog = commands.add_parser(
+        "catalog", help="build and query multi-index catalog files"
+    )
+    actions = catalog.add_subparsers(dest="action", required=True)
+
+    cat_add = actions.add_parser(
+        "add", help="encode a tree and add it to a catalog (created if missing)"
+    )
+    cat_add.add_argument("catalog", help="catalog file to create or extend")
+    cat_add.add_argument("--name", required=True, help="member name of the new index")
+    _add_scheme_options(cat_add)
+    _add_tree_options(cat_add)
+
+    cat_list = actions.add_parser("list", help="show the members of a catalog")
+    cat_list.add_argument("catalog")
+
+    cat_query = actions.add_parser("query", help="route queries to one member")
+    cat_query.add_argument("catalog")
+    cat_query.add_argument("--name", required=True, help="member index to query")
+    _add_query_options(cat_query)
 
     store_bench = commands.add_parser(
         "store-bench", help="batched vs per-pair query throughput"
@@ -111,86 +152,99 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_scheme(args) -> str:
+    """Merge the legacy ``--k``/``--epsilon`` flags into the spec string."""
+    from repro.core.registry import format_spec, parse_spec
+
+    name, params = parse_spec(args.scheme)
+    if args.k is not None:
+        params["k"] = args.k
+    if args.epsilon is not None:
+        params["epsilon"] = args.epsilon
+    return format_spec(name, params)
+
+
 def _demo(family: str, n: int, seed: int) -> str:
-    from repro.core import AlstrupScheme, FreedmanScheme
+    from repro.api import DistanceIndex
     from repro.generators.workloads import make_tree, random_pairs
     from repro.oracles.exact_oracle import TreeDistanceOracle
 
     tree = make_tree(family, n, seed)
     oracle = TreeDistanceOracle(tree)
     lines = [f"tree family={family} n={n}"]
-    for scheme in (FreedmanScheme(), AlstrupScheme()):
-        labels = scheme.encode(tree)
-        sizes = [label.bit_length() for label in labels.values()]
+    for spec in ("freedman", "alstrup"):
+        index = DistanceIndex.build(tree, spec)
+        stats = index.stats()
+        pairs = random_pairs(tree, 100, seed)
         checked = sum(
             1
-            for u, v in random_pairs(tree, 100, seed)
-            if scheme.distance(labels[u], labels[v]) == oracle.distance(u, v)
+            for (u, v), result in zip(pairs, index.batch(pairs))
+            if result.value == oracle.distance(u, v)
         )
         lines.append(
-            f"  {scheme.name:10s} max={max(sizes):4d} bits  "
-            f"avg={sum(sizes) / len(sizes):7.1f} bits  verified {checked}/100 queries"
+            f"  {spec:10s} max={stats['max_label_bits']:4d} bits  "
+            f"avg={stats['total_label_bits'] / stats['n']:7.1f} bits  "
+            f"verified {checked}/100 queries"
         )
     return "\n".join(lines)
 
 
-def _encode(args) -> str:
-    from repro.core.registry import ALL_SCHEME_NAMES, make_any_scheme
+def _build_index(args):
+    """One (tree, DistanceIndex) pair from the shared scheme/tree options."""
+    from repro.api import DistanceIndex
     from repro.generators.workloads import make_tree
-    from repro.store import LabelStore
+
+    spec = _resolve_scheme(args)
+    tree = make_tree(args.family, args.n, args.seed)
+    return spec, tree, DistanceIndex.build(tree, spec)
+
+
+def _encode(args) -> str:
+    from repro.core.registry import ALL_SCHEME_NAMES
 
     if args.list:
         return "registered schemes: " + " ".join(ALL_SCHEME_NAMES)
 
-    params = {}
-    if args.k is not None:
-        params["k"] = args.k
-    if args.epsilon is not None:
-        params["epsilon"] = args.epsilon
-    scheme = make_any_scheme(args.scheme, **params)
-
-    tree = make_tree(args.family, args.n, args.seed)
-    store = LabelStore.encode_tree(scheme, tree)
-    written = store.save(args.out)
+    spec, tree, index = _build_index(args)
+    written = index.save(args.out)
+    stats = index.stats()
     return (
-        f"encoded family={args.family} n={tree.n} with scheme={args.scheme}"
-        f"{params or ''}\n"
+        f"encoded family={args.family} n={tree.n} with scheme={stats['spec']}\n"
         f"wrote {args.out}: {written} bytes "
-        f"(payload {store.payload_bytes} bytes, labels {store.total_label_bits} bits, "
-        f"max label {store.max_label_bits} bits)"
+        f"(payload {stats['payload_bytes']} bytes, "
+        f"labels {stats['total_label_bits']} bits, "
+        f"max label {stats['max_label_bits']} bits)"
     )
 
 
-def _query(args) -> str:
+def _describe_result(result) -> str:
+    if not result.within_bound:
+        return "beyond bound"
+    tag = "exact" if result.is_exact else f"<= {result.ratio_bound:g}x"
+    return f"{result.value} ({tag})"
+
+
+def _run_queries(index, header: str, args) -> str:
+    """Shared ``query`` body for plain index files and catalog members."""
     import random
     import time
-
-    from repro.store import LabelStore, QueryEngine, StoreError
-
-    store = LabelStore.load(args.store)
-    engine = QueryEngine(store)
-    scheme = engine.scheme
 
     if args.u is not None or args.v is not None:
         if args.u is None or args.v is None:
             raise SystemExit("--u and --v must be given together")
-        answer = engine.query(args.u, args.v)
-        return (
-            f"store={args.store} scheme={store.scheme_name} n={store.n}\n"
-            f"query({args.u}, {args.v}) = {answer}"
-        )
+        result = index.query(args.u, args.v)
+        return f"{header}\nquery({args.u}, {args.v}) = {_describe_result(result)}"
 
     if args.pairs < 1:
         raise ValueError("--pairs must be at least 1")
     rng = random.Random(args.seed)
-    pairs = [
-        (rng.randrange(store.n), rng.randrange(store.n)) for _ in range(args.pairs)
-    ]
+    pairs = [(rng.randrange(index.n), rng.randrange(index.n)) for _ in range(args.pairs)]
 
     start = time.perf_counter()
-    answers = engine.batch_query(pairs)
+    answers = index.batch(pairs, raw=True)
     batch_seconds = time.perf_counter() - start
 
+    scheme, store = index.scheme, index.store
     start = time.perf_counter()
     single = [
         scheme.query_from_bits(store.label_bits(u), store.label_bits(v))
@@ -198,7 +252,7 @@ def _query(args) -> str:
     ]
     single_seconds = time.perf_counter() - start
     if single != answers[: len(single)]:
-        raise StoreError("batched answers disagree with per-pair answers")
+        raise AssertionError("batched answers disagree with per-pair answers")
 
     single_qps = len(single) / single_seconds if single_seconds else float("inf")
     batch_qps = len(pairs) / batch_seconds if batch_seconds else float("inf")
@@ -206,14 +260,59 @@ def _query(args) -> str:
         f"d({u},{v})={a}" for (u, v), a in list(zip(pairs, answers))[:5]
     )
     return (
-        f"store={args.store} scheme={store.scheme_name} params={store.scheme_params} "
-        f"n={store.n}\n"
+        f"{header}\n"
         f"answered {len(pairs)} queries from labels alone\n"
         f"batched: {batch_qps:,.0f} queries/s   "
         f"per-pair bit parsing: {single_qps:,.0f} queries/s   "
         f"speedup {batch_qps / single_qps:.1f}x\n"
         f"first answers: {preview}"
     )
+
+
+def _query(args) -> str:
+    from repro.api import DistanceIndex
+
+    index = DistanceIndex.open(args.store)
+    header = f"store={args.store} scheme={index.spec} n={index.n}"
+    return _run_queries(index, header, args)
+
+
+def _catalog(args) -> str:
+    import os
+
+    from repro.api import IndexCatalog
+
+    if args.action == "add":
+        catalog = (
+            IndexCatalog.load(args.catalog)
+            if os.path.exists(args.catalog)
+            else IndexCatalog()
+        )
+        spec, tree, index = _build_index(args)
+        catalog.add(args.name, index)
+        written = catalog.save(args.catalog)
+        return (
+            f"added {args.name!r} (scheme={index.spec}, family={args.family}, "
+            f"n={tree.n}) to {args.catalog}\n"
+            f"catalog now holds {len(catalog)} index(es), {written} bytes"
+        )
+
+    catalog = IndexCatalog.load(args.catalog)
+    if args.action == "list":
+        # describe() reads only each member's header prefix, so listing a
+        # huge forest file never parses the member stores
+        rows = [
+            {key: row[key] for key in ("name", "spec", "kind", "n", "file_bytes")}
+            for row in catalog.describe()
+        ]
+        return f"catalog {args.catalog}: {len(catalog)} member(s)\n" + format_table(rows)
+
+    assert args.action == "query"
+    index = catalog.index(args.name)
+    header = (
+        f"catalog={args.catalog} name={args.name} scheme={index.spec} n={index.n}"
+    )
+    return _run_queries(index, header, args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -237,16 +336,18 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "demo":
         print(_demo(args.family, args.n, args.seed))
         return 0
-    elif args.command in ("encode", "query"):
+    elif args.command in ("encode", "query", "catalog"):
+        from repro.api import CatalogError, SpecError
         from repro.store import StoreError
 
+        handlers = {"encode": _encode, "query": _query, "catalog": _catalog}
         try:
-            print(_encode(args) if args.command == "encode" else _query(args))
+            print(handlers[args.command](args))
             return 0
         except FileNotFoundError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        except (StoreError, KeyError, ValueError) as error:
+        except (StoreError, CatalogError, SpecError, KeyError, ValueError) as error:
             message = error.args[0] if error.args else error
             print(f"error: {message}", file=sys.stderr)
             return 2

@@ -43,8 +43,13 @@ from repro.core.registry import (
     BOUNDED_SCHEMES,
     SCHEME_CLASSES,
     SCHEMES,
+    SpecError,
+    format_spec,
     make_any_scheme,
     make_scheme,
+    make_scheme_from_spec,
+    parse_spec,
+    scheme_spec,
 )
 
 __all__ = [
@@ -69,4 +74,9 @@ __all__ = [
     "ALL_SCHEME_NAMES",
     "make_scheme",
     "make_any_scheme",
+    "make_scheme_from_spec",
+    "parse_spec",
+    "format_spec",
+    "scheme_spec",
+    "SpecError",
 ]

@@ -1,4 +1,11 @@
-"""Common interface of every labeling scheme.
+"""Common interface of every labeling scheme (internal layer).
+
+.. note::
+   Scheme classes are the **internal** encoder/decoder layer.  Application
+   code selects a scheme by spec string through the :mod:`repro.api` façade
+   (``DistanceIndex.build(tree, "k-distance:k=4")``) and receives typed
+   :class:`repro.api.QueryResult` answers; the classes here are for
+   label-level experiments and the measurement harness.
 
 A labeling scheme has two halves:
 

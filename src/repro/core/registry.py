@@ -5,10 +5,27 @@ scheme included); bounded and approximate schemes take their defining
 parameter (``k`` / ``epsilon``).  :func:`make_any_scheme` is the single
 entry point that resolves a ``(name, params)`` spec — the form persisted in
 :class:`repro.store.LabelStore` files — back to a live scheme of any family.
+
+Scheme specs also have a canonical **string form** — the one accepted by
+:meth:`repro.api.DistanceIndex.build` and the CLI and printed by
+``stats()``/``--list``::
+
+    freedman
+    k-distance:k=4
+    approximate:epsilon=0.1
+    freedman:use_accumulators=false
+
+:func:`parse_spec` turns such a string into the ``(name, params)`` pair and
+:func:`format_spec` renders the pair back, omitting parameters that match the
+scheme's constructor defaults so the output is canonical
+(``format_spec(*parse_spec(s))`` is a fixed point).  Friendly aliases are
+accepted on input (``kdistance`` for ``k-distance``, ``approx`` for
+``approximate``, ``eps`` for ``epsilon``) and normalised away on output.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.core.alstrup import AlstrupScheme
@@ -95,3 +112,137 @@ def make_any_scheme(name: str, **params) -> LabelingScheme:
             )
         return SCHEMES[name]()
     raise KeyError(f"unknown scheme {name!r}; known: {list(ALL_SCHEME_NAMES)}")
+
+
+# -- string scheme specs ------------------------------------------------------
+
+class SpecError(ValueError):
+    """Raised when a scheme spec string is malformed or unresolvable."""
+
+
+#: accepted input aliases for scheme names, normalised by :func:`parse_spec`
+SPEC_NAME_ALIASES: dict[str, str] = {
+    "kdistance": KDistanceScheme.name,
+    "approx": ApproximateScheme.name,
+}
+
+#: accepted input aliases for parameter names, normalised by :func:`parse_spec`
+SPEC_PARAM_ALIASES: dict[str, str] = {
+    "eps": "epsilon",
+}
+
+
+def _parse_value(token: str):
+    """A spec parameter value: bool, int, float or bare string."""
+    lowered = token.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def parse_spec(spec: str) -> tuple[str, dict]:
+    """Parse ``"name"`` or ``"name:key=value,..."`` into ``(name, params)``.
+
+    Aliases (``kdistance``, ``approx``, ``eps``) are normalised; values are
+    decoded as bool/int/float when they look like one, bare strings
+    otherwise.  The resulting pair feeds :func:`make_any_scheme`.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise SpecError(f"empty scheme spec {spec!r}")
+    name, _, tail = spec.strip().partition(":")
+    name = SPEC_NAME_ALIASES.get(name.strip(), name.strip())
+    if not name:
+        raise SpecError(f"spec {spec!r} has no scheme name")
+    params: dict = {}
+    if tail or ":" in spec:
+        if not tail.strip():
+            raise SpecError(
+                f"spec {spec!r}: expected key=value parameters after ':'"
+            )
+        for item in tail.split(","):
+            key, eq, value = item.partition("=")
+            key = SPEC_PARAM_ALIASES.get(key.strip(), key.strip())
+            if not key or not eq or not value.strip():
+                raise SpecError(
+                    f"spec {spec!r}: malformed parameter {item.strip()!r} "
+                    "(expected key=value)"
+                )
+            if key in params:
+                raise SpecError(f"spec {spec!r}: duplicate parameter {key!r}")
+            params[key] = _parse_value(value.strip())
+    return name, params
+
+
+def _default_params(name: str) -> dict:
+    """Constructor defaults of the canonical class behind ``name`` (if any)."""
+    cls = SCHEME_CLASSES.get(name)
+    if cls is None:
+        return {}
+    defaults = {}
+    for parameter in inspect.signature(cls.__init__).parameters.values():
+        if parameter.default is not inspect.Parameter.empty:
+            defaults[parameter.name] = parameter.default
+    return defaults
+
+
+def format_spec(name: str, params: dict | None = None) -> str:
+    """Render a ``(name, params)`` pair as the canonical spec string.
+
+    Parameters equal to the scheme's constructor defaults are omitted, so
+    ``format_spec(*parse_spec(s))`` yields the same string for every
+    equivalent input spelling.  ``params()`` of a live scheme round-trips:
+    ``make_scheme_from_spec(format_spec(s.name, s.params()))`` rebuilds an
+    equivalent scheme.
+    """
+    name = SPEC_NAME_ALIASES.get(name, name)
+    defaults = _default_params(name)
+    kept = {
+        key: value
+        for key, value in (params or {}).items()
+        if not (key in defaults and defaults[key] == value)
+    }
+    if not kept:
+        return name
+    rendered = ",".join(
+        f"{key}={_format_value(value)}" for key, value in sorted(kept.items())
+    )
+    return f"{name}:{rendered}"
+
+
+def scheme_spec(scheme: LabelingScheme) -> str:
+    """The canonical spec string of a live scheme (``name`` + ``params()``)."""
+    return format_spec(scheme.name, scheme.params())
+
+
+def make_scheme_from_spec(spec: str) -> LabelingScheme:
+    """Resolve a spec string to a live scheme of any family.
+
+    Wraps the registry/constructor errors so the caller always sees a
+    :class:`SpecError` naming the offending spec.
+    """
+    name, params = parse_spec(spec)
+    try:
+        return make_any_scheme(name, **params)
+    except KeyError:
+        raise SpecError(
+            f"spec {spec!r}: unknown scheme {name!r}; "
+            f"known: {list(ALL_SCHEME_NAMES)}"
+        ) from None
+    except ValueError as error:
+        raise SpecError(f"spec {spec!r}: {error}") from error

@@ -1,9 +1,16 @@
-"""Packed label stores and the batch query engine.
+"""Packed label stores and the batch query engine (internal layer).
 
-This package is the serving layer of the reproduction: it turns the labels a
-scheme assigns into a single shippable artefact and answers queries from
-that artefact alone — the workflow the paper's model implies (distribute the
-labels, discard the tree).
+.. note::
+   This package is the **internal** serving layer behind the public
+   :mod:`repro.api` façade.  Application code should use
+   :meth:`repro.api.DistanceIndex.build` / ``open`` / ``query`` instead of
+   constructing :class:`LabelStore` and :class:`QueryEngine` directly; the
+   classes here remain importable for measurement and research code and
+   their file format is the one ``DistanceIndex.save`` writes.
+
+The layer turns the labels a scheme assigns into a single shippable
+artefact and answers queries from that artefact alone — the workflow the
+paper's model implies (distribute the labels, discard the tree).
 
 :class:`LabelStore`
     every node label packed into one contiguous byte buffer with an offset

@@ -99,9 +99,33 @@ class QueryEngine:
         Each label is parsed once; the matrix is symmetric for every scheme
         in this library but is computed entry-by-entry all the same, so the
         engine stays agnostic of the scheme's internals.
+
+        When the target set is larger than the cache, labels are parsed into
+        a local list that bypasses the LRU entirely: inserting them would
+        evict every warm entry without any of the parses ever being a cache
+        hit, and later misses on the evicted nodes would be counted twice.
+        Cached labels are still reused (without promotion).
         """
         targets = list(range(self.store.n)) if nodes is None else list(nodes)
-        parsed = [self.parsed_label(node) for node in targets]
+        if len(targets) <= self._cache_size:
+            parsed = [self.parsed_label(node) for node in targets]
+        else:
+            cache = self._cache
+            parse = self.scheme.parse
+            label_bits = self.store.label_bits
+            local: dict[int, object] = {}
+            parsed = []
+            for node in targets:
+                label = cache.get(node)
+                if label is not None:
+                    self.cache_hits += 1
+                elif node in local:
+                    label = local[node]
+                else:
+                    self.cache_misses += 1
+                    label = parse(label_bits(node))
+                    local[node] = label
+                parsed.append(label)
         query = self.scheme.query
         return [[query(a, b) for b in parsed] for a in parsed]
 

@@ -1,0 +1,315 @@
+"""Tests for the ``repro.api`` façade: DistanceIndex, QueryResult, IndexCatalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CatalogError,
+    DistanceIndex,
+    IndexCatalog,
+    QueryResult,
+    SpecError,
+)
+from repro.core.freedman import FreedmanScheme
+from repro.core.registry import SCHEMES
+from repro.generators.workloads import make_tree, random_pairs
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.store import LabelStore
+
+#: every registered scheme as a spec string, covering all three families
+ALL_SPECS = [
+    *sorted(SCHEMES),
+    "k-distance:k=4",
+    "approximate:epsilon=0.5",
+]
+
+
+def check_result(result: QueryResult, exact: int) -> None:
+    """One QueryResult is consistent with the oracle distance."""
+    if result.is_exact:
+        assert result.value == exact
+        assert result.within_bound and result.ratio_bound == 1.0
+    elif not result.within_bound:
+        assert result.value is None and result.ratio_bound is None
+        assert not result  # falsy
+    else:
+        assert result.ratio_bound > 1.0
+        if exact == 0:
+            assert result.value == 0
+        else:
+            assert exact - 1e-9 <= result.value <= result.ratio_bound * exact + 1e-9
+
+
+class TestDistanceIndexRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_build_save_open_query(self, tmp_path, spec):
+        """Acceptance: build -> save -> open -> query for every scheme."""
+        tree = make_tree("random", 70, seed=13)
+        oracle = TreeDistanceOracle(tree)
+        index = DistanceIndex.build(tree, spec)
+
+        path = tmp_path / "index.bin"
+        written = index.save(path)
+        assert written == path.stat().st_size
+
+        reopened = DistanceIndex.open(path)
+        assert reopened.n == tree.n
+        assert reopened.spec == index.spec
+        assert reopened.kind == index.kind
+        for u, v in random_pairs(tree, 50, seed=3):
+            result = reopened.query(u, v)
+            check_result(result, oracle.distance(u, v))
+            assert result.value == index.query(u, v).value
+
+    def test_old_label_store_files_still_open(self, tmp_path):
+        """Back-compat: a file written through the pre-façade layer opens."""
+        tree = make_tree("random", 40, seed=5)
+        store = LabelStore.encode_tree(FreedmanScheme(), tree)
+        path = tmp_path / "legacy.bin"
+        store.save(path)
+
+        index = DistanceIndex.open(path)
+        oracle = TreeDistanceOracle(tree)
+        assert index.spec == "freedman"
+        assert index.query(3, 17).value == oracle.distance(3, 17)
+
+    def test_bytes_round_trip(self):
+        tree = make_tree("random", 30, seed=1)
+        index = DistanceIndex.build(tree, "k-distance:k=3")
+        clone = DistanceIndex.from_bytes(index.to_bytes())
+        pairs = random_pairs(tree, 40, seed=2)
+        assert clone.batch(pairs, raw=True) == index.batch(pairs, raw=True)
+
+    def test_build_accepts_scheme_instance(self):
+        tree = make_tree("path", 12)
+        index = DistanceIndex.build(tree, FreedmanScheme(use_fragments=False))
+        assert index.spec == "freedman:use_fragments=false"
+        assert index.query(0, 11).value == 11
+
+    def test_build_rejects_bad_spec(self):
+        with pytest.raises(SpecError):
+            DistanceIndex.build(make_tree("path", 5), "kdistance:k=0")
+
+
+class TestDistanceIndexQueries:
+    def test_batch_matches_single(self):
+        tree = make_tree("random", 90, seed=7)
+        index = DistanceIndex.build(tree, "freedman")
+        pairs = random_pairs(tree, 120, seed=4)
+        batch = index.batch(pairs)
+        assert [r.value for r in batch] == [
+            index.query(u, v).value for u, v in pairs
+        ]
+        assert all(isinstance(r, QueryResult) for r in batch)
+
+    def test_raw_escape_hatch(self):
+        tree = make_tree("random", 50, seed=8)
+        oracle = TreeDistanceOracle(tree)
+        index = DistanceIndex.build(tree, "freedman")
+        assert index.query(3, 10, raw=True) == oracle.distance(3, 10)
+        pairs = random_pairs(tree, 30, seed=1)
+        assert index.batch(pairs, raw=True) == oracle.batch_distance(pairs)
+        bounded = DistanceIndex.build(tree, "k-distance:k=2")
+        raw = bounded.batch(pairs, raw=True)
+        assert all(answer is None or answer <= 2 for answer in raw)
+
+    def test_matrix(self):
+        tree = make_tree("random", 25, seed=9)
+        oracle = TreeDistanceOracle(tree)
+        index = DistanceIndex.build(tree, "freedman")
+        assert index.matrix(raw=True) == oracle.distance_matrix()
+        wrapped = index.matrix([0, 5, 9])
+        expected = oracle.distance_matrix([0, 5, 9])
+        for row, expected_row in zip(wrapped, expected):
+            assert [r.value for r in row] == expected_row
+            assert all(r.is_exact for r in row)
+
+    def test_stats(self):
+        tree = make_tree("random", 40, seed=2)
+        index = DistanceIndex.build(tree, "approximate:epsilon=0.25")
+        stats = index.stats()
+        assert stats["spec"] == "approximate:epsilon=0.25"
+        assert stats["kind"] == "approximate"
+        assert stats["n"] == len(index) == 40
+        assert stats["file_bytes"] > stats["payload_bytes"] > 0
+        assert stats["total_label_bits"] >= stats["max_label_bits"] > 0
+        assert stats["cache"]["max_size"] == 4096
+
+    def test_result_semantics_bounded(self):
+        tree = make_tree("path", 30)
+        index = DistanceIndex.build(tree, "k-distance:k=5")
+        near = index.query(0, 3)
+        assert near.value == 3 and near.is_exact and near.within_bound and near
+        far = index.query(0, 29)
+        assert far.value is None and not far.within_bound and not far
+        assert "beyond" in repr(far)
+
+    def test_result_is_frozen(self):
+        result = QueryResult(3, True, True, 1.0)
+        with pytest.raises(AttributeError):
+            result.value = 4
+
+
+def build_heterogeneous_catalog() -> tuple[IndexCatalog, dict, dict]:
+    """A catalog of exact + bounded + approximate indexes over distinct trees."""
+    trees = {
+        "exact": make_tree("random", 60, seed=21),
+        "bounded": make_tree("caterpillar", 50, seed=0),
+        "approx": make_tree("balanced_binary", 63, seed=0),
+    }
+    specs = {
+        "exact": "freedman",
+        "bounded": "k-distance:k=6",
+        "approx": "approximate:epsilon=0.5",
+    }
+    catalog = IndexCatalog()
+    for name, tree in trees.items():
+        catalog.add(name, DistanceIndex.build(tree, specs[name]))
+    return catalog, trees, specs
+
+
+class TestIndexCatalog:
+    def test_membership_api(self):
+        catalog, trees, _ = build_heterogeneous_catalog()
+        assert catalog.names() == ["exact", "bounded", "approx"]
+        assert len(catalog) == 3 and "bounded" in catalog
+        assert list(catalog) == catalog.names()
+        catalog.remove("bounded")
+        assert "bounded" not in catalog and len(catalog) == 2
+
+    def test_add_validation(self):
+        catalog, _, _ = build_heterogeneous_catalog()
+        index = catalog.index("exact")
+        with pytest.raises(CatalogError):
+            catalog.add("exact", index)  # duplicate
+        with pytest.raises(CatalogError):
+            catalog.add("", index)
+        with pytest.raises(CatalogError):
+            catalog.add("x", object())
+        with pytest.raises(CatalogError):
+            catalog.remove("nope")
+        with pytest.raises(CatalogError):
+            catalog.query("nope", 0, 1)
+
+    def test_routed_queries_match_oracle(self, tmp_path):
+        """Acceptance: >=3 heterogeneous members answer vs the exact oracle."""
+        catalog, trees, _ = build_heterogeneous_catalog()
+        path = tmp_path / "forest.cat"
+        catalog.save(path)
+        loaded = IndexCatalog.load(path)
+
+        for name, tree in trees.items():
+            oracle = TreeDistanceOracle(tree)
+            for u, v in random_pairs(tree, 40, seed=6):
+                check_result(loaded.query(name, u, v), oracle.distance(u, v))
+        # batch routing agrees with single routing
+        pairs = random_pairs(trees["exact"], 30, seed=7)
+        assert loaded.batch("exact", pairs, raw=True) == [
+            loaded.query("exact", u, v, raw=True) for u, v in pairs
+        ]
+
+    def test_lazy_open_on_load(self, tmp_path):
+        catalog, _, _ = build_heterogeneous_catalog()
+        path = tmp_path / "forest.cat"
+        catalog.save(path)
+
+        loaded = IndexCatalog.load(path)
+        assert [loaded.is_open(name) for name in loaded.names()] == [False] * 3
+        loaded.query("bounded", 0, 1)
+        assert loaded.is_open("bounded")
+        assert not loaded.is_open("exact") and not loaded.is_open("approx")
+        assert loaded.index("bounded") is loaded.index("bounded")  # cached
+
+    def test_bytes_round_trip_preserves_order_and_specs(self):
+        catalog, _, specs = build_heterogeneous_catalog()
+        clone = IndexCatalog.from_bytes(catalog.to_bytes())
+        assert clone.names() == catalog.names()
+        for name, spec in specs.items():
+            assert clone.index(name).spec == spec
+        # a resaved lazy catalog serialises identically
+        assert IndexCatalog.from_bytes(clone.to_bytes()).names() == clone.names()
+        assert clone.to_bytes() == catalog.to_bytes()
+
+    def test_resave_to_same_path_keeps_lazy_members_valid(self, tmp_path):
+        """Regression: saving a loaded catalog over its own file must not
+        leave lazy members reading stale offsets from the rewritten file."""
+        catalog, trees, _ = build_heterogeneous_catalog()
+        path = tmp_path / "forest.cat"
+        catalog.save(path)
+
+        loaded = IndexCatalog.load(path)
+        extra_tree = make_tree("path", 20)
+        loaded.add("extra", DistanceIndex.build(extra_tree, "naive-list"))
+        loaded.save(path)  # rewrites the file the lazy members point into
+
+        oracle = TreeDistanceOracle(trees["exact"])
+        assert loaded.query("exact", 1, 7).value == oracle.distance(1, 7)
+        assert loaded.query("extra", 0, 19).value == 19
+        # and a fresh load of the rewritten file sees all four members
+        assert IndexCatalog.load(path).names() == [
+            "exact", "bounded", "approx", "extra",
+        ]
+
+    def test_describe_does_not_open_members(self, tmp_path):
+        catalog, trees, specs = build_heterogeneous_catalog()
+        path = tmp_path / "forest.cat"
+        catalog.save(path)
+
+        loaded = IndexCatalog.load(path)
+        rows = loaded.describe()
+        assert [loaded.is_open(name) for name in loaded.names()] == [False] * 3
+        assert [row["name"] for row in rows] == catalog.names()
+        for row in rows:
+            assert row["spec"] == specs[row["name"]]
+            assert row["n"] == trees[row["name"]].n
+            assert row["open"] is False and row["file_bytes"] > 0
+        assert {row["kind"] for row in rows} == {"exact", "bounded", "approximate"}
+        # open one member: describe reports it from live stats now
+        loaded.query("exact", 0, 1)
+        assert [row["open"] for row in loaded.describe()] == [True, False, False]
+
+    def test_stats_keyed_by_name(self):
+        catalog, trees, specs = build_heterogeneous_catalog()
+        stats = catalog.stats()
+        assert set(stats) == set(trees)
+        for name in trees:
+            assert stats[name]["spec"] == specs[name]
+            assert stats[name]["n"] == trees[name].n
+
+    def test_empty_catalog_round_trip(self, tmp_path):
+        catalog = IndexCatalog()
+        path = tmp_path / "empty.cat"
+        catalog.save(path)
+        assert IndexCatalog.load(path).names() == []
+
+    def test_bad_magic(self):
+        with pytest.raises(CatalogError):
+            IndexCatalog.from_bytes(b"XXXX\x00\x00")
+
+    def test_truncated_blob(self):
+        catalog, _, _ = build_heterogeneous_catalog()
+        blob = catalog.to_bytes()
+        with pytest.raises(CatalogError):
+            IndexCatalog.from_bytes(blob[:-10])
+
+    def test_truncated_file(self, tmp_path):
+        catalog, _, _ = build_heterogeneous_catalog()
+        path = tmp_path / "forest.cat"
+        catalog.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(CatalogError):
+            IndexCatalog.load(path)
+
+    def test_many_members_toc_parses(self, tmp_path):
+        """A catalog with many members exercises TOC-only loading."""
+        tree = make_tree("path", 6)
+        catalog = IndexCatalog()
+        for i in range(40):
+            catalog.add(f"member-{i:03d}", DistanceIndex.build(tree, "naive-list"))
+        path = tmp_path / "many.cat"
+        catalog.save(path)
+        loaded = IndexCatalog.load(path)
+        assert len(loaded) == 40
+        assert loaded.query("member-037", 0, 5).value == 5

@@ -1,11 +1,23 @@
-"""Top-level package API tests (the quickstart contract of the README)."""
+"""Top-level package API tests (the quickstart contract of the README).
+
+``test_api_surface_snapshot`` pins ``repro.api.__all__`` exactly: any
+addition or removal must touch this file too, keeping changes to the public
+surface deliberate.
+"""
+
+import warnings
+
+import pytest
 
 import repro
+import repro.api
 from repro import (
     AlstrupScheme,
-    FreedmanScheme,
-    KDistanceScheme,
     ApproximateScheme,
+    DistanceIndex,
+    FreedmanScheme,
+    IndexCatalog,
+    KDistanceScheme,
     RootedTree,
     TreeDistanceOracle,
     random_prufer_tree,
@@ -13,22 +25,65 @@ from repro import (
     tree_from_parents,
 )
 
+#: the canonical public surface; update deliberately alongside repro/api
+EXPECTED_API_ALL = [
+    "DistanceIndex",
+    "IndexCatalog",
+    "QueryResult",
+    "CatalogError",
+    "SpecError",
+    "parse_spec",
+    "format_spec",
+    "scheme_spec",
+    "make_scheme_from_spec",
+    "available_specs",
+    "CATALOG_MAGIC",
+]
+
 
 class TestPublicAPI:
     def test_version_string(self):
         assert isinstance(repro.__version__, str)
         assert repro.__version__.count(".") == 2
 
+    def test_api_surface_snapshot(self):
+        """``repro.api.__all__`` is pinned exactly (deliberate changes only)."""
+        assert repro.api.__all__ == EXPECTED_API_ALL
+
+    def test_api_surface_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
     def test_readme_quickstart(self):
         tree = random_prufer_tree(200, seed=7)
-        scheme = FreedmanScheme()
-        labels = scheme.encode(tree)
+        index = DistanceIndex.build(tree, "freedman")
         oracle = TreeDistanceOracle(tree)
-        assert scheme.distance(labels[3], labels[42]) == oracle.distance(3, 42)
+        assert index.query(3, 42).value == oracle.distance(3, 42)
+
+        catalog = IndexCatalog()
+        catalog.add("backbone", index)
+        assert catalog.query("backbone", 3, 42).value == oracle.distance(3, 42)
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert getattr(repro, name) is not None
+
+    def test_deprecated_shims_warn_but_work(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store_cls = repro.LabelStore
+            engine_cls = repro.QueryEngine
+        from repro.store import LabelStore, QueryEngine
+
+        assert store_cls is LabelStore and engine_cls is QueryEngine
+        assert all(
+            issubclass(entry.category, DeprecationWarning) for entry in caught
+        )
+        assert len(caught) >= 2
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_name
 
     def test_builders_exported(self):
         tree = tree_from_parents([None, 0, 0])
@@ -37,6 +92,7 @@ class TestPublicAPI:
         assert tree.n == 3
 
     def test_every_headline_scheme_usable(self):
+        """The label-level research surface stays importable and correct."""
         tree = random_prufer_tree(60, seed=1)
         oracle = TreeDistanceOracle(tree)
 
@@ -55,3 +111,14 @@ class TestPublicAPI:
         alabels = approx.encode(tree)
         answer = approx.approximate_distance(alabels[1], alabels[2])
         assert oracle.distance(1, 2) <= answer <= 1.5 * oracle.distance(1, 2) + 1e-9
+
+    def test_every_headline_scheme_has_a_spec(self):
+        """Facade coverage: the headline classes are reachable by spec."""
+        for cls, spec in [
+            (FreedmanScheme, "freedman"),
+            (AlstrupScheme, "alstrup"),
+            (KDistanceScheme, "k-distance:k=3"),
+            (ApproximateScheme, "approximate:epsilon=0.5"),
+        ]:
+            index = DistanceIndex.build(random_prufer_tree(20, seed=2), spec)
+            assert isinstance(index.scheme, cls)

@@ -1,0 +1,163 @@
+"""Tests for string scheme specs: parse/format round trips and error messages."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import LabelingScheme
+from repro.core.registry import (
+    ALL_SCHEME_NAMES,
+    SCHEMES,
+    SpecError,
+    format_spec,
+    make_scheme_from_spec,
+    parse_spec,
+    scheme_spec,
+)
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_spec("freedman") == ("freedman", {})
+
+    def test_parameters(self):
+        assert parse_spec("k-distance:k=4") == ("k-distance", {"k": 4})
+        assert parse_spec("approximate:epsilon=0.1") == (
+            "approximate",
+            {"epsilon": 0.1},
+        )
+
+    def test_aliases_normalised(self):
+        assert parse_spec("kdistance:k=4") == ("k-distance", {"k": 4})
+        assert parse_spec("approx:eps=0.1") == ("approximate", {"epsilon": 0.1})
+
+    def test_value_types(self):
+        name, params = parse_spec("freedman:binarize=false,use_fragments=true")
+        assert params == {"binarize": False, "use_fragments": True}
+        assert parse_spec("k-distance:k=4,mode=simple")[1] == {
+            "k": 4,
+            "mode": "simple",
+        }
+
+    def test_whitespace_tolerated(self):
+        assert parse_spec(" k-distance : k = 4 ") == ("k-distance", {"k": 4})
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", ":k=4", "freedman:", "k-distance:k", "k-distance:=4",
+         "k-distance:k=", "k-distance:k=1,k=2"],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+
+class TestFormatSpec:
+    def test_no_params(self):
+        assert format_spec("freedman") == "freedman"
+        assert format_spec("freedman", {}) == "freedman"
+
+    def test_defaults_omitted(self):
+        assert format_spec("k-distance", {"k": 4, "mode": "auto"}) == "k-distance:k=4"
+        assert (
+            format_spec("freedman", {"binarize": True, "use_fragments": True,
+                                     "use_accumulators": True})
+            == "freedman"
+        )
+
+    def test_non_defaults_kept_sorted(self):
+        assert (
+            format_spec("freedman", {"use_fragments": False, "binarize": False})
+            == "freedman:binarize=false,use_fragments=false"
+        )
+
+    def test_name_alias_normalised(self):
+        assert format_spec("kdistance", {"k": 2}) == "k-distance:k=2"
+
+
+def registered_instances() -> list[LabelingScheme]:
+    """One live instance per registered scheme name (all three families)."""
+    schemes = [factory() for factory in SCHEMES.values()]
+    schemes.append(make_scheme_from_spec("k-distance:k=3"))
+    schemes.append(make_scheme_from_spec("approximate:epsilon=0.25"))
+    return schemes
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "scheme", registered_instances(), ids=lambda scheme: scheme_spec(scheme)
+    )
+    def test_params_round_trip(self, scheme):
+        """``(name, params())`` -> string -> scheme rebuilds equal params."""
+        spec = format_spec(scheme.name, scheme.params())
+        rebuilt = make_scheme_from_spec(spec)
+        assert type(rebuilt) is type(scheme)
+        assert rebuilt.params() == scheme.params()
+        assert scheme_spec(rebuilt) == spec
+
+    def test_format_parse_is_fixed_point_for_names(self):
+        for name in ALL_SCHEME_NAMES:
+            canonical = format_spec(*parse_spec(name))
+            assert format_spec(*parse_spec(canonical)) == canonical
+
+    @settings(max_examples=60, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=64),
+           mode=st.sampled_from(["auto", "compact", "simple"]))
+    def test_kdistance_round_trip_hypothesis(self, k, mode):
+        spec = format_spec("k-distance", {"k": k, "mode": mode})
+        assert format_spec(*parse_spec(spec)) == spec
+        scheme = make_scheme_from_spec(spec)
+        assert scheme.k == k and scheme.params()["mode"] == mode
+
+    @settings(max_examples=60, deadline=None)
+    @given(eps=st.floats(min_value=0.01, max_value=4.0,
+                         allow_nan=False, allow_infinity=False))
+    def test_approximate_round_trip_hypothesis(self, eps):
+        spec = format_spec("approximate", {"epsilon": eps})
+        assert format_spec(*parse_spec(spec)) == spec
+        assert make_scheme_from_spec(spec).epsilon == pytest.approx(eps)
+
+    @settings(max_examples=40, deadline=None)
+    @given(binarize=st.booleans(), fragments=st.booleans(),
+           accumulators=st.booleans())
+    def test_freedman_ablation_round_trip_hypothesis(
+        self, binarize, fragments, accumulators
+    ):
+        params = {
+            "binarize": binarize,
+            "use_fragments": fragments,
+            "use_accumulators": accumulators,
+        }
+        spec = format_spec("freedman", params)
+        rebuilt = make_scheme_from_spec(spec)
+        assert rebuilt.params() == params
+        assert format_spec(*parse_spec(spec)) == spec
+
+
+class TestResolutionErrors:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(SpecError) as excinfo:
+            make_scheme_from_spec("no-such-scheme")
+        message = str(excinfo.value)
+        assert "no-such-scheme" in message and "freedman" in message
+
+    def test_invalid_k_names_spec_and_reason(self):
+        with pytest.raises(SpecError) as excinfo:
+            make_scheme_from_spec("kdistance:k=0")
+        message = str(excinfo.value)
+        assert "kdistance:k=0" in message and "k must be at least 1" in message
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(SpecError) as excinfo:
+            make_scheme_from_spec("approx:eps=-1")
+        assert "epsilon must be positive" in str(excinfo.value)
+
+    def test_unknown_constructor_parameter(self):
+        with pytest.raises(SpecError):
+            make_scheme_from_spec("freedman:bogus=1")
+
+    def test_alias_scheme_rejects_params(self):
+        with pytest.raises(SpecError):
+            make_scheme_from_spec("freedman-no-fragments:k=3")

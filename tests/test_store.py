@@ -209,6 +209,44 @@ class TestQueryEngine:
         nodes = [3, 17, 0, 29]
         assert engine.distance_matrix(nodes) == oracle.distance_matrix(nodes)
 
+    def test_big_matrix_does_not_thrash_cache(self):
+        """A matrix call larger than the cache must not evict warm entries."""
+        tree = make_tree("random", 40, seed=6)
+        oracle = TreeDistanceOracle(tree)
+        engine = QueryEngine.encode_tree(FreedmanScheme(), tree, cache_size=8)
+
+        for node in range(8):  # warm the cache to capacity
+            engine.parsed_label(node)
+        warm = dict(engine._cache)
+        engine.cache_hits = engine.cache_misses = 0
+
+        assert engine.distance_matrix() == oracle.distance_matrix()
+        # the warm entries survived (same parsed objects, no eviction) ...
+        assert dict(engine._cache) == warm
+        # ... were reused by the matrix ...
+        assert engine.cache_hits == 8
+        # ... and the other labels were each parsed exactly once
+        assert engine.cache_misses == tree.n - 8
+        # follow-up queries on warm nodes still hit
+        engine.query(0, 7)
+        assert engine.cache_misses == tree.n - 8
+
+    def test_big_matrix_parses_duplicates_once(self):
+        tree = make_tree("path", 30)
+        oracle = TreeDistanceOracle(tree)
+        engine = QueryEngine.encode_tree(FreedmanScheme(), tree, cache_size=2)
+        nodes = [5, 6, 7, 5, 6, 7, 8]  # duplicates beyond cache capacity
+        assert engine.distance_matrix(nodes) == oracle.distance_matrix(nodes)
+        assert engine.cache_misses == 4  # distinct nodes only
+
+    def test_small_matrix_still_warms_cache(self):
+        tree = make_tree("path", 20)
+        engine = QueryEngine.encode_tree(FreedmanScheme(), tree, cache_size=64)
+        engine.distance_matrix([1, 2, 3])
+        assert engine.cache_info()["size"] == 3
+        engine.distance_matrix([1, 2, 3])
+        assert engine.cache_hits == 3
+
     def test_scheme_rebuilt_from_store_spec(self):
         tree = make_tree("random", 60, seed=8)
         store = LabelStore.encode_tree(KDistanceScheme(3), tree)
