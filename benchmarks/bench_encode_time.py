@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+import perf_common  # the src/ path shim plus shared timing and reference helpers
+
 from repro.core.alstrup import AlstrupScheme
 from repro.core.freedman import FreedmanScheme
 from repro.core.hld import HLDScheme
@@ -35,3 +37,122 @@ def test_encode_time(benchmark, scheme_name, n):
             "nodes_per_second_hint": n,
         }
     )
+
+
+def test_packed_vs_reference_encode_pack():
+    """Regression gate for the word-packed encode/pack path.
+
+    The recorded acceptance number (>= 2x at n=10k) lives in
+    ``BENCH_encode_time.json``; this test re-checks a smaller instance with
+    a 1.5x threshold so CI noise cannot flake it.
+    """
+    from repro.store import LabelStore
+
+    tree = make_tree("random", 2048, seed=23)
+    scheme = HLDScheme()
+
+    def packed_pipeline():
+        return LabelStore.from_labels(scheme, scheme.encode(tree))
+
+    def reference_pipeline():
+        labels = scheme.encode(tree)
+        return perf_common.reference_pack_hld(labels)
+
+    packed_time, store = perf_common.best_of(packed_pipeline, repeats=3)
+    reference_time, (bit_lengths, payload) = perf_common.best_of(
+        reference_pipeline, repeats=3
+    )
+    # the two pipelines must produce the identical packed payload
+    assert bit_lengths == [store.bit_length(node) for node in range(store.n)]
+    assert payload == bytes(store.buffers()[0])
+    speedup = reference_time / packed_time
+    assert speedup >= 1.5, f"packed encode+pack only {speedup:.2f}x over reference"
+
+
+# -- machine-readable runner (BENCH_encode_time.json) ------------------------
+
+
+def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
+    """Measure encode+pack throughput and write ``BENCH_encode_time.json``.
+
+    Records nodes/sec per scheme and size for the full
+    ``scheme.encode`` + ``LabelStore.from_labels`` pipeline, and the
+    headline gate: the packed pipeline vs the pre-packing string-backed
+    serialisation (``perf_common.reference_pack_hld``) at n=10k (smoke mode
+    shrinks sizes for CI).
+    """
+    from repro.store import LabelStore
+
+    table_sizes = [128] if smoke else [512, 2048]
+    gate_n = 512 if smoke else 10000
+    repeats = 3 if smoke else 5
+
+    schemes_json: dict[str, dict] = {}
+    for scheme_name, factory in sorted(SCHEMES.items()):
+        schemes_json[scheme_name] = {}
+        for n in table_sizes:
+            tree = make_tree("random", n, seed=23)
+            scheme = factory()
+            elapsed, store = perf_common.best_of(
+                lambda: LabelStore.from_labels(scheme, scheme.encode(tree)),
+                repeats=repeats,
+            )
+            schemes_json[scheme_name][str(n)] = {
+                "encode_pack_nodes_per_sec": round(n / elapsed, 1),
+                "total_label_bits": store.total_label_bits,
+            }
+
+    tree = make_tree("random", gate_n, seed=23)
+    scheme = HLDScheme()
+    packed_time, store = perf_common.best_of(
+        lambda: LabelStore.from_labels(scheme, scheme.encode(tree)),
+        repeats=repeats,
+    )
+
+    def reference_pipeline():
+        labels = scheme.encode(tree)
+        return perf_common.reference_pack_hld(labels)
+
+    reference_time, (bit_lengths, payload) = perf_common.best_of(
+        reference_pipeline, repeats=repeats
+    )
+    if payload != bytes(store.buffers()[0]):
+        raise AssertionError("packed and reference pack outputs differ")
+    payload_json = {
+        "benchmark": "encode_time",
+        "mode": "smoke" if smoke else "full",
+        "schemes": schemes_json,
+        "gate": {
+            "description": (
+                "scheme.encode + LabelStore.from_labels vs the pre-PR "
+                f"string-backed serialisation (best-of {repeats})"
+            ),
+            "scheme": "hld-fixed",
+            "n": gate_n,
+            "packed_nodes_per_sec": round(gate_n / packed_time, 1),
+            "reference_nodes_per_sec": round(gate_n / reference_time, 1),
+            "packed_seconds": round(packed_time, 4),
+            "reference_seconds": round(reference_time, 4),
+            "speedup": round(reference_time / packed_time, 2),
+            "required_speedup": 2.0,
+            "pass": reference_time / packed_time >= 2.0,
+        },
+    }
+    path = perf_common.write_json("BENCH_encode_time.json", payload_json, out=out)
+    print(f"wrote {path}")
+    print(
+        f"gate: {payload_json['gate']['speedup']}x "
+        f"(required {payload_json['gate']['required_speedup']}x, "
+        f"pass={payload_json['gate']['pass']})"
+    )
+    return payload_json
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small CI sizes")
+    parser.add_argument("--out", default=None, help="output path override")
+    arguments = parser.parse_args()
+    run_perf_json(smoke=arguments.smoke, out=arguments.out)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import pytest
 
+import perf_common  # the src/ path shim plus shared timing and reference helpers
+
 from repro.analysis.label_stats import measure_store_throughput
 from repro.core.alstrup import AlstrupScheme
 from repro.core.approximate import ApproximateScheme
@@ -147,3 +149,117 @@ def test_freedman_batched_speedup():
     pairs = random_pairs(tree, 2000, seed=3)
     row = measure_store_throughput(FreedmanScheme(), tree, pairs)
     assert row["speedup"] >= 2.0, f"batched speedup only {row['speedup']:.2f}x"
+
+
+def test_packed_vs_reference_batch_query():
+    """Regression gate for the word-packed bit layer.
+
+    The recorded acceptance number (>= 5x at n=4096, 10k pairs) lives in
+    ``BENCH_query_time.json``; this test re-checks a smaller instance with a
+    3x threshold so CI noise cannot flake it while still catching any real
+    regression of the packed pipeline.
+    """
+    tree = make_tree("random", 2048, seed=23)
+    scheme = HLDScheme()
+    store = LabelStore.encode_tree(scheme, tree)
+    pairs = random_pairs(tree, 5000, seed=13)
+    packed_time, packed_answers = perf_common.best_of(
+        lambda: QueryEngine(store, scheme=scheme).batch_query(pairs), repeats=3
+    )
+    reference_time, reference_answers = perf_common.best_of(
+        lambda: perf_common.reference_batch_query_hld(store, pairs), repeats=3
+    )
+    assert packed_answers == reference_answers
+    speedup = reference_time / packed_time
+    assert speedup >= 3.0, f"packed batch_query only {speedup:.2f}x over reference"
+
+
+# -- machine-readable runner (BENCH_query_time.json) -------------------------
+
+
+def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
+    """Measure batched query throughput and write ``BENCH_query_time.json``.
+
+    Records ops/sec per scheme and size, and the headline gate: packed
+    ``QueryEngine.batch_query`` vs the pre-packing string-backed pipeline
+    (``perf_common.reference_batch_query_hld``) on an HLD store with n=4096
+    and 10k random pairs (smoke mode shrinks both for CI).
+    """
+    table_sizes = [128] if smoke else [512, 2048]
+    table_pairs = 256 if smoke else 2048
+    gate_n = 512 if smoke else 4096
+    gate_pairs = 1000 if smoke else 10000
+    repeats = 3 if smoke else 7
+
+    all_schemes = dict(EXACT_SCHEMES)
+    schemes_json: dict[str, dict] = {}
+    for scheme_name, factory in sorted(all_schemes.items()):
+        schemes_json[scheme_name] = {}
+        for n in table_sizes:
+            tree = make_tree("random", n, seed=23)
+            scheme = factory()
+            store = LabelStore.encode_tree(scheme, tree)
+            pairs = random_pairs(tree, table_pairs, seed=13)
+            elapsed, _ = perf_common.best_of(
+                lambda: QueryEngine(store, scheme=scheme).batch_query(pairs),
+                repeats=repeats,
+            )
+            schemes_json[scheme_name][str(n)] = {
+                "batch_query_ops_per_sec": round(len(pairs) / elapsed, 1),
+                "pairs": len(pairs),
+                "max_label_bits": store.max_label_bits,
+            }
+
+    # the gate: packed vs reference on the HLD store
+    tree = make_tree("random", gate_n, seed=23)
+    scheme = HLDScheme()
+    store = LabelStore.encode_tree(scheme, tree)
+    pairs = random_pairs(tree, gate_pairs, seed=13)
+    packed_time, packed_answers = perf_common.best_of(
+        lambda: QueryEngine(store, scheme=scheme).batch_query(pairs),
+        repeats=repeats,
+    )
+    reference_time, reference_answers = perf_common.best_of(
+        lambda: perf_common.reference_batch_query_hld(store, pairs),
+        repeats=repeats,
+    )
+    if packed_answers != reference_answers:
+        raise AssertionError("packed and reference pipelines disagree")
+    payload = {
+        "benchmark": "query_time",
+        "mode": "smoke" if smoke else "full",
+        "schemes": schemes_json,
+        "gate": {
+            "description": (
+                "QueryEngine.batch_query on an HLD store vs the pre-PR "
+                "string-backed pipeline (fresh engine per round, best-of "
+                f"{repeats})"
+            ),
+            "scheme": "hld-fixed",
+            "n": gate_n,
+            "pairs": gate_pairs,
+            "packed_ops_per_sec": round(gate_pairs / packed_time, 1),
+            "reference_ops_per_sec": round(gate_pairs / reference_time, 1),
+            "speedup": round(reference_time / packed_time, 2),
+            "required_speedup": 5.0,
+            "pass": reference_time / packed_time >= 5.0,
+        },
+    }
+    path = perf_common.write_json("BENCH_query_time.json", payload, out=out)
+    print(f"wrote {path}")
+    print(
+        f"gate: {payload['gate']['speedup']}x "
+        f"(required {payload['gate']['required_speedup']}x, "
+        f"pass={payload['gate']['pass']})"
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small CI sizes")
+    parser.add_argument("--out", default=None, help="output path override")
+    arguments = parser.parse_args()
+    run_perf_json(smoke=arguments.smoke, out=arguments.out)

@@ -107,9 +107,15 @@ class DistanceIndex:
         wrap = self._wrap
         return [wrap(answer) for answer in answers]
 
-    def matrix(self, nodes=None, *, raw: bool = False) -> list[list]:
-        """All pairwise answers over ``nodes`` (default: every node)."""
-        rows = self._engine.distance_matrix(nodes)
+    def matrix(
+        self, nodes=None, *, raw: bool = False, assume_symmetric: bool = True
+    ) -> list[list]:
+        """All pairwise answers over ``nodes`` (default: every node).
+
+        ``assume_symmetric`` (default on) computes only the upper triangle
+        and mirrors it; every scheme in the library is symmetric.
+        """
+        rows = self._engine.distance_matrix(nodes, assume_symmetric=assume_symmetric)
         if raw:
             return rows
         wrap = self._wrap

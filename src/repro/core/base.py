@@ -73,6 +73,24 @@ class LabelingScheme(ABC):
     def parse(self, bits: Bits) -> LabelProtocol:
         """Parse a label from its serialised bits."""
 
+    def parse_many(self, store, nodes) -> dict[int, LabelProtocol]:
+        """Parse many stored labels at once (the store-serving supply path).
+
+        ``store`` is any object with a ``label_words(nodes)`` iterator
+        yielding ``(node, packed_value, bit_length)`` — in practice a
+        :class:`repro.store.LabelStore`.  The default implementation wraps
+        each packed word in a :class:`Bits` and calls :meth:`parse`; schemes
+        with a word-level fast parser override this to skip the wrapper
+        (overrides may additionally use ``store.buffers()`` when present,
+        falling back to ``label_words`` so duck-typed stores keep working).
+        """
+        from_int = Bits.from_int
+        parse = self.parse
+        return {
+            node: parse(from_int(value, bits))
+            for node, value, bits in store.label_words(nodes)
+        }
+
     @abstractmethod
     def query(self, label_u: LabelProtocol, label_v: LabelProtocol):
         """Answer one query from two parsed labels (family-specific value)."""

@@ -302,10 +302,10 @@ class FreedmanScheme(DistanceLabelingScheme):
             children = collapsed.children(parent_path)
             if not children:
                 continue
-            accumulated = ""
+            accumulated = BitWriter()
             last_index = len(children) - 1
             for index, child in enumerate(children):
-                prefix = Bits(accumulated)
+                prefix = accumulated.getvalue()
                 if index == last_index:
                     per_path[child] = (True, Bits(""), 0, prefix)
                     skipped += 1
@@ -335,7 +335,7 @@ class FreedmanScheme(DistanceLabelingScheme):
                 )
                 per_path[child] = (False, kept_bits, pushed, prefix)
                 if pushed:
-                    accumulated += format(value & ((1 << pushed) - 1), f"0{pushed}b")
+                    accumulated.write_int(value & ((1 << pushed) - 1), pushed)
                     total_pushed += pushed
 
         self.encoding_stats = {

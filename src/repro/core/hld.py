@@ -13,59 +13,215 @@ Every field is stored with a fixed width of ``ceil(log2 n)`` /
 ``2 log² n`` — this is the framework of Section 3.1 *before* any of the
 paper's size optimisations, and serves as the reference point in the
 label-size benchmarks.
+
+Because the fields are fixed-width, a parsed label keeps them *packed*: the
+path identifiers live in one integer (level 0 at the least significant
+field) and the exits in another.  The decoder finds the deepest common
+heavy path with one XOR and one lowest-set-bit instead of walking two
+Python lists, and the parser extracts fields with shifts from the stored
+words — the serialised format is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.base import DistanceLabelingScheme
-from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.bitio import BitError, BitReader, BitWriter, Bits
 from repro.encoding.elias import decode_gamma, encode_gamma
 from repro.trees.collapsed import CollapsedTree
 from repro.trees.heavy_path import HeavyPathDecomposition
 from repro.trees.tree import RootedTree
 
 
-@dataclass
 class HLDLabel:
-    """Fixed-width heavy-path label."""
+    """Fixed-width heavy-path label.
 
-    root_distance: int
-    path_ids: list[int]
-    exits: list[int]
-    id_width: int
-    distance_width: int
+    ``path_ids``/``exits`` are exposed as lists (level 0 first) for
+    inspection and encoding; internally both sequences are packed into
+    single integers, which is what the decoder operates on.
+    """
+
+    __slots__ = (
+        "root_distance",
+        "id_width",
+        "distance_width",
+        "_count",
+        "_sig",
+        "_exits_packed",
+        "_path_ids",
+        "_exits",
+    )
+
+    def __init__(
+        self,
+        root_distance: int,
+        path_ids: list[int],
+        exits: list[int],
+        id_width: int,
+        distance_width: int,
+    ) -> None:
+        self.root_distance = root_distance
+        self.id_width = id_width
+        self.distance_width = distance_width
+        self._path_ids = list(path_ids)
+        self._exits = list(exits)
+        self._count = len(self._path_ids)
+        sig = 0
+        for level, path_id in enumerate(self._path_ids):
+            if path_id >> id_width or path_id < 0:
+                raise BitError(f"value {path_id} does not fit in {id_width} bits")
+            sig |= path_id << (level * id_width)
+        packed = 0
+        for level, exit_distance in enumerate(self._exits):
+            if exit_distance >> distance_width or exit_distance < 0:
+                raise BitError(
+                    f"value {exit_distance} does not fit in {distance_width} bits"
+                )
+            packed |= exit_distance << (level * distance_width)
+        self._sig = sig
+        self._exits_packed = packed
+
+    @classmethod
+    def _from_packed(
+        cls,
+        root_distance: int,
+        count: int,
+        sig: int,
+        exits_packed: int,
+        id_width: int,
+        distance_width: int,
+    ) -> "HLDLabel":
+        """Parser-side constructor: fields stay packed, lists are lazy."""
+        self = object.__new__(cls)
+        self.root_distance = root_distance
+        self.id_width = id_width
+        self.distance_width = distance_width
+        self._count = count
+        self._sig = sig
+        self._exits_packed = exits_packed
+        self._path_ids = None
+        self._exits = None
+        return self
+
+    @property
+    def path_ids(self) -> list[int]:
+        """Per-level heavy-path identifiers (unpacked on demand)."""
+        if self._path_ids is None:
+            width, mask = self.id_width, (1 << self.id_width) - 1
+            sig = self._sig
+            self._path_ids = [
+                (sig >> (level * width)) & mask for level in range(self._count)
+            ]
+        return self._path_ids
+
+    @property
+    def exits(self) -> list[int]:
+        """Per-level exit distances (unpacked on demand)."""
+        if self._exits is None:
+            width, mask = self.distance_width, (1 << self.distance_width) - 1
+            packed = self._exits_packed
+            self._exits = [
+                (packed >> (level * width)) & mask for level in range(self._count)
+            ]
+        return self._exits
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, HLDLabel):
+            return (
+                self.root_distance == other.root_distance
+                and self.id_width == other.id_width
+                and self.distance_width == other.distance_width
+                and self._count == other._count
+                and self._sig == other._sig
+                and self._exits_packed == other._exits_packed
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"HLDLabel(root_distance={self.root_distance}, "
+            f"path_ids={self.path_ids}, exits={self.exits}, "
+            f"id_width={self.id_width}, distance_width={self.distance_width})"
+        )
 
     def to_bits(self) -> Bits:
         """Serialise the label."""
         writer = BitWriter()
         encode_gamma(writer, self.id_width)
         encode_gamma(writer, self.distance_width)
-        encode_gamma(writer, len(self.path_ids))
+        encode_gamma(writer, self._count)
         writer.write_int(self.root_distance, self.distance_width)
-        for path_id, exit_distance in zip(self.path_ids, self.exits):
-            writer.write_int(path_id, self.id_width)
-            writer.write_int(exit_distance, self.distance_width)
+        # emit the packed fields level by level, root (level 0) first
+        id_width, distance_width = self.id_width, self.distance_width
+        id_mask = (1 << id_width) - 1
+        distance_mask = (1 << distance_width) - 1
+        sig, exits_packed = self._sig, self._exits_packed
+        for level in range(self._count):
+            writer.write_int((sig >> (level * id_width)) & id_mask, id_width)
+            writer.write_int(
+                (exits_packed >> (level * distance_width)) & distance_mask,
+                distance_width,
+            )
         return writer.getvalue()
 
     @classmethod
     def from_bits(cls, bits: Bits) -> "HLDLabel":
-        """Parse a serialised label."""
-        reader = BitReader(bits)
-        id_width = decode_gamma(reader)
-        distance_width = decode_gamma(reader)
-        count = decode_gamma(reader)
-        root_distance = reader.read_int(distance_width)
-        path_ids, exits = [], []
-        for _ in range(count):
-            path_ids.append(reader.read_int(id_width))
-            exits.append(reader.read_int(distance_width))
-        return cls(root_distance, path_ids, exits, id_width, distance_width)
+        """Parse a serialised label (word-at-a-time, no reader object)."""
+        return _parse_word(bits.to_int(), len(bits))
 
     def bit_length(self) -> int:
         """Size of the serialised label in bits."""
         return len(self.to_bits())
+
+
+def _parse_word(value: int, total: int) -> HLDLabel:
+    """Decode one serialised label from its packed integer.
+
+    Straight-line gamma decoding (suffix ``bit_length`` finds the unary run)
+    followed by shift/mask extraction of the fixed-width field pairs; this is
+    the innermost loop of store serving, kept free of reader objects and
+    intermediate :class:`Bits`.
+    """
+    # header: three gamma codes (id_width, distance_width, count).  This is
+    # the cold fallback parser — the hot loop in ``HLDScheme.parse_many``
+    # inlines the same arithmetic once, behind its header fast path.
+    rem = total
+    suffix = value if total else 0  # Bits guarantees value < 2**total
+    header = [0, 0, 0]
+    for index in range(3):
+        if not suffix:
+            raise BitError("bit stream exhausted")
+        significant = suffix.bit_length()
+        width = rem - significant + 1  # zeros + 1
+        if width > significant:
+            raise BitError("bit stream exhausted")
+        header[index] = (suffix >> (significant - width)) - 1
+        rem -= 2 * width - 1
+        suffix &= (1 << rem) - 1
+    id_width, distance_width, count = header
+
+    pair_width = id_width + distance_width
+    tail_bits = distance_width + count * pair_width
+    if tail_bits > rem:
+        raise BitError("bit stream exhausted")
+    tail = (value >> (rem - tail_bits)) & ((1 << tail_bits) - 1)
+    root_distance = tail >> (tail_bits - distance_width)
+    id_mask = (1 << id_width) - 1
+    distance_mask = (1 << distance_width) - 1
+    sig = 0
+    exits_packed = 0
+    shift = tail_bits - distance_width  # start of the per-level pairs
+    id_shift = 0
+    distance_shift = 0
+    for _ in range(count):
+        shift -= pair_width
+        pair = tail >> shift
+        sig |= ((pair >> distance_width) & id_mask) << id_shift
+        exits_packed |= (pair & distance_mask) << distance_shift
+        id_shift += id_width
+        distance_shift += distance_width
+    return HLDLabel._from_packed(
+        root_distance, count, sig, exits_packed, id_width, distance_width
+    )
 
 
 class HLDScheme(DistanceLabelingScheme):
@@ -75,6 +231,16 @@ class HLDScheme(DistanceLabelingScheme):
 
     def __init__(self, variant: str = "paper") -> None:
         self._variant = variant
+        # ``query`` is definitionally ``distance`` for exact schemes, so
+        # when neither hook is overridden, binding the bound method as an
+        # instance attribute saves the base class's dispatch frame on the
+        # engine's per-pair hot loop; any subclass overriding either hook
+        # keeps the normal class-level dispatch
+        if (
+            type(self).query is DistanceLabelingScheme.query
+            and type(self).distance is HLDScheme.distance
+        ):
+            self.query = self.distance
 
     def encode(self, tree: RootedTree) -> dict[int, HLDLabel]:
         decomposition = HeavyPathDecomposition(tree, variant=self._variant)
@@ -105,6 +271,36 @@ class HLDScheme(DistanceLabelingScheme):
         return labels
 
     def distance(self, label_u: HLDLabel, label_v: HLDLabel) -> int:
+        id_width = label_u.id_width
+        distance_width = label_u.distance_width
+        if (
+            id_width != label_v.id_width
+            or distance_width != label_v.distance_width
+        ):
+            return self._distance_unpacked(label_u, label_v)
+        # Deepest common heavy path: the lowest differing packed field.  A
+        # path id is 0 only at level 0 (the root's preorder number), so when
+        # the XOR is zero the shorter sequence is a prefix of the longer.
+        diff = label_u._sig ^ label_v._sig
+        if diff:
+            deepest_common = ((diff & -diff).bit_length() - 1) // id_width - 1
+            if deepest_common < 0:
+                raise ValueError("labels do not come from the same tree")
+        else:
+            count_u, count_v = label_u._count, label_v._count
+            deepest_common = (count_u if count_u < count_v else count_v) - 1
+            if deepest_common < 0:
+                raise ValueError("labels do not come from the same tree")
+        shift = deepest_common * distance_width
+        mask = (1 << distance_width) - 1
+        exit_u = (label_u._exits_packed >> shift) & mask
+        exit_v = (label_v._exits_packed >> shift) & mask
+        nca_distance = exit_u if exit_u < exit_v else exit_v
+        return label_u.root_distance + label_v.root_distance - 2 * nca_distance
+
+    @staticmethod
+    def _distance_unpacked(label_u: HLDLabel, label_v: HLDLabel) -> int:
+        """Field-by-field fallback for labels with differing widths."""
         deepest_common = -1
         for index, (a, b) in enumerate(zip(label_u.path_ids, label_v.path_ids)):
             if a != b:
@@ -117,3 +313,101 @@ class HLDScheme(DistanceLabelingScheme):
 
     def parse(self, bits: Bits) -> HLDLabel:
         return HLDLabel.from_bits(bits)
+
+    def parse_many(self, store, nodes) -> dict[int, HLDLabel]:
+        """Word-level bulk parse: packed store words straight into labels.
+
+        All labels of one store share the same ``(id_width, distance_width)``
+        header, so its gamma-coded bit pattern is recognised with a single
+        shift-and-compare and the remaining fields are extracted inline;
+        labels whose header differs (foreign or corrupt input) fall back to
+        the general parser.
+        """
+        buffers = getattr(store, "buffers", None)
+        if buffers is None:
+            # duck-typed store exposing only the documented ``label_words``
+            # protocol: still word-level, one parser call per label
+            return {
+                node: _parse_word(value, bits)
+                for node, value, bits in store.label_words(nodes)
+            }
+        out: dict[int, HLDLabel] = {}
+        header_pattern = -1
+        header_len = 0
+        id_width = distance_width = pair_width = 0
+        id_mask = distance_mask = 0
+        view, offsets, lengths = buffers()
+        total_nodes = len(lengths)
+        from_bytes = int.from_bytes
+        new_label = object.__new__
+        label_type = HLDLabel
+        for node in nodes:
+            if not 0 <= node < total_nodes:
+                from repro.store.label_store import StoreError
+
+                raise StoreError(f"node {node} out of range [0, {total_nodes})")
+            bits = lengths[node]
+            if bits:
+                start = offsets[node]
+                byte_count = (bits + 7) >> 3
+                value = from_bytes(
+                    view[start : start + byte_count], "big"
+                ) >> ((byte_count << 3) - bits)
+            else:
+                value = 0
+            if header_pattern < 0 or (
+                bits <= header_len or (value >> (bits - header_len)) != header_pattern
+            ):
+                label = _parse_word(value, bits)
+                out[node] = label
+                id_width = label.id_width
+                distance_width = label.distance_width
+                width_id = (id_width + 1).bit_length()
+                width_distance = (distance_width + 1).bit_length()
+                header_len = (2 * width_id - 1) + (2 * width_distance - 1)
+                header_pattern = ((id_width + 1) << (2 * width_distance - 1)) | (
+                    distance_width + 1
+                )
+                pair_width = id_width + distance_width
+                id_mask = (1 << id_width) - 1
+                distance_mask = (1 << distance_width) - 1
+                continue
+            # gamma(count) right after the recognised header
+            rem = bits - header_len
+            suffix = value & ((1 << rem) - 1)
+            if not suffix:
+                raise BitError("bit stream exhausted")
+            significant = suffix.bit_length()
+            width = rem - significant + 1
+            if width > significant:
+                raise BitError("bit stream exhausted")
+            count = (suffix >> (significant - width)) - 1
+            rem -= 2 * width - 1
+            tail_bits = distance_width + count * pair_width
+            if tail_bits > rem:
+                raise BitError("bit stream exhausted")
+            tail = (value >> (rem - tail_bits)) & ((1 << tail_bits) - 1)
+            root_distance = tail >> (tail_bits - distance_width)
+            sig = 0
+            exits_packed = 0
+            shift = tail_bits - distance_width
+            id_shift = 0
+            distance_shift = 0
+            for _ in range(count):
+                shift -= pair_width
+                pair = tail >> shift
+                sig |= ((pair >> distance_width) & id_mask) << id_shift
+                exits_packed |= (pair & distance_mask) << distance_shift
+                id_shift += id_width
+                distance_shift += distance_width
+            label = new_label(label_type)
+            label.root_distance = root_distance
+            label.id_width = id_width
+            label.distance_width = distance_width
+            label._count = count
+            label._sig = sig
+            label._exits_packed = exits_packed
+            label._path_ids = None
+            label._exits = None
+            out[node] = label
+        return out

@@ -32,10 +32,15 @@ from repro.trees.tree import RootedTree
 @dataclass(frozen=True)
 class LevelAncestorLabel:
     """Hierarchical position description: offsets along heavy paths and
-    codewords of the light edges taken between them."""
+    codewords of the light edges taken between them.
+
+    Codewords are kept as packed :class:`Bits` values (hashable, so labels
+    remain usable as dictionary keys through :meth:`key`); no character
+    strings are materialised on the encode/parse paths.
+    """
 
     depth: int
-    codewords: tuple[str, ...]
+    codewords: tuple[Bits, ...]
     offsets: tuple[int, ...]
 
     @property
@@ -72,7 +77,7 @@ class LevelAncestorLabel:
         codewords = []
         for _ in range(count):
             length = decode_gamma(reader)
-            codewords.append(reader.read_bits(length).data)
+            codewords.append(reader.read_bits(length))
         offsets = tuple(decode_delta(reader) for _ in range(count + 1))
         return cls(depth, tuple(codewords), offsets)
 
@@ -97,7 +102,7 @@ class LevelAncestorScheme:
         labels: dict[int, LevelAncestorLabel] = {}
         for node in tree.nodes():
             sequence = collapsed.root_path_sequence(node)
-            codewords = tuple(word.data for word in light.codewords_for(node))
+            codewords = tuple(light.codewords_for(node))
             offsets: list[int] = []
             for index, path in enumerate(sequence):
                 head = collapsed.head(path)

@@ -15,7 +15,7 @@ codewords is O(log n) bits.
 
 from __future__ import annotations
 
-from repro.encoding.bitio import Bits
+from repro.encoding.bitio import Bits, BitWriter
 
 
 class SizeWeightedCode:
@@ -73,10 +73,10 @@ def codeword_length_bound(total: int, weight: int) -> int:
 
 def path_identifier(codewords: list[Bits]) -> Bits:
     """Concatenate per-level codewords into a single path identifier."""
-    out = Bits("")
+    writer = BitWriter()
     for word in codewords:
-        out = out + word
-    return out
+        writer.write_bits(word)
+    return writer.getvalue()
 
 
 def common_codeword_prefix(path_a: list[Bits], path_b: list[Bits]) -> int:

@@ -1,56 +1,117 @@
-"""Bit-oriented readers and writers.
+"""Bit-oriented readers and writers (word-packed).
 
-Labels in this library are plain Python strings of ``'0'``/``'1'`` characters
-wrapped in the small :class:`Bits` value type.  A character-per-bit
-representation is deliberately simple: the library's goal is to *measure*
-label sizes and to make the decoding logic transparent, not to squeeze the
-last nanosecond out of CPython.  All size accounting (``len(bits)``) is exact
-in bits.
+Labels in this library are bit strings wrapped in the small :class:`Bits`
+value type.  ``Bits`` is backed by a single arbitrary-precision integer plus
+an explicit bit length: the first (leftmost) bit of the string is the most
+significant bit of the integer.  Every hot operation — concatenation,
+slicing, fixed-width reads and writes, unary runs, byte packing — is a
+shift/mask on machine words, the way the word-RAM model the paper works in
+counts operations.  All size accounting (``len(bits)``) remains exact in
+bits, and the printable ``'0'``/``'1'`` view is still available through
+:attr:`Bits.data` for diagnostics and tests.
+
+The previous character-per-bit implementation is preserved verbatim in
+:mod:`repro.encoding.bitio_reference`; the differential test suite
+(``tests/test_bitio_packed.py``) checks the two against each other, and the
+benchmark runners use it as the recorded pre-packing baseline.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 
 class BitError(ValueError):
     """Raised when a bit stream is malformed or exhausted."""
 
 
-@dataclass(frozen=True)
 class Bits:
-    """An immutable bit string.
+    """An immutable bit string backed by ``(int value, int length)``.
 
     ``Bits`` behaves like a very small value object: it supports length,
-    equality, concatenation, slicing and conversion to and from integers.
+    equality, hashing, concatenation, slicing and conversion to and from
+    integers and packed bytes.  The constructor accepts the printable
+    ``'0'``/``'1'`` form for compatibility (and readability in tests); the
+    fast paths never materialise that string.
     """
 
-    data: str = ""
+    __slots__ = ("_value", "_length")
 
-    def __post_init__(self) -> None:
-        if self.data and set(self.data) - {"0", "1"}:
-            raise BitError(f"invalid characters in bit string: {self.data!r}")
+    def __init__(self, data: str = "") -> None:
+        if isinstance(data, Bits):
+            value, length = data._value, data._length
+        else:
+            length = len(data)
+            if length and (set(data) - {"0", "1"}):
+                raise BitError(f"invalid characters in bit string: {data!r}")
+            value = int(data, 2) if length else 0
+        object.__setattr__(self, "_value", value)
+        object.__setattr__(self, "_length", length)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Bits is immutable")
+
+    def __reduce__(self):
+        # the immutability guard blocks default pickle/deepcopy state
+        # restoration; rebuild through the packed constructor instead
+        return (Bits._pack, (self._value, self._length))
+
+    @classmethod
+    def _pack(cls, value: int, length: int) -> "Bits":
+        """Internal fast constructor: ``value`` must fit in ``length`` bits."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "_value", value)
+        object.__setattr__(self, "_length", length)
+        return self
+
+    @property
+    def data(self) -> str:
+        """The printable ``'0'``/``'1'`` form (materialised on demand)."""
+        length = self._length
+        return format(self._value, f"0{length}b") if length else ""
 
     def __len__(self) -> int:
-        return len(self.data)
+        return self._length
 
     def __iter__(self):
         return iter(self.data)
 
     def __getitem__(self, item) -> "Bits":
+        length = self._length
         if isinstance(item, slice):
+            start, stop, step = item.indices(length)
+            if step == 1:
+                if stop <= start:
+                    return _EMPTY
+                width = stop - start
+                return Bits._pack(
+                    (self._value >> (length - stop)) & ((1 << width) - 1), width
+                )
             return Bits(self.data[item])
-        return Bits(self.data[item])
+        if item < 0:
+            item += length
+        if not 0 <= item < length:
+            raise IndexError("Bits index out of range")
+        return _ONE if (self._value >> (length - 1 - item)) & 1 else _ZERO
 
     def __add__(self, other: "Bits") -> "Bits":
-        return Bits(self.data + other.data)
+        return Bits._pack(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
 
     def __bool__(self) -> bool:
-        return bool(self.data)
+        return self._length > 0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bits):
+            return self._length == other._length and self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._value))
 
     def to_int(self) -> int:
         """Interpret the bits as a big-endian binary number (empty -> 0)."""
-        return int(self.data, 2) if self.data else 0
+        return self._value
 
     @staticmethod
     def from_int(value: int, width: int | None = None) -> "Bits":
@@ -58,16 +119,12 @@ class Bits:
         if value < 0:
             raise BitError("Bits.from_int expects a non-negative integer")
         if width is None:
-            return Bits(bin(value)[2:] if value else "")
+            return Bits._pack(value, value.bit_length())
         if width < 0:
             raise BitError("width must be non-negative")
-        if value >= (1 << width) and width > 0:
+        if value >> width:
             raise BitError(f"value {value} does not fit in {width} bits")
-        if width == 0:
-            if value:
-                raise BitError(f"value {value} does not fit in 0 bits")
-            return Bits("")
-        return Bits(format(value, f"0{width}b"))
+        return Bits._pack(value, width)
 
     def to_bytes(self) -> bytes:
         """Pack the bits into bytes, MSB-first, zero-padded at the end.
@@ -77,11 +134,11 @@ class Bits:
         ``len(self)`` must be remembered separately to invert exactly —
         see :meth:`from_bytes`.
         """
-        if not self.data:
+        length = self._length
+        if not length:
             return b""
-        count = (len(self.data) + 7) // 8
-        padded = self.data.ljust(count * 8, "0")
-        return int(padded, 2).to_bytes(count, "big")
+        count = (length + 7) // 8
+        return (self._value << (count * 8 - length)).to_bytes(count, "big")
 
     @staticmethod
     def from_bytes(data, bit_length: int) -> "Bits":
@@ -89,29 +146,41 @@ class Bits:
 
         ``data`` may be ``bytes`` or a ``memoryview`` (zero-copy slices of a
         :class:`repro.store.LabelStore` buffer); only the first
-        ``ceil(bit_length / 8)`` bytes are examined.
+        ``ceil(bit_length / 8)`` bytes are examined.  No intermediate
+        character string is built: the bytes become the packed integer
+        directly.
         """
         if bit_length < 0:
             raise BitError("bit_length must be non-negative")
         if bit_length == 0:
-            return Bits("")
+            return _EMPTY
         count = (bit_length + 7) // 8
         if len(data) < count:
             raise BitError(
                 f"need {count} bytes for {bit_length} bits, got {len(data)}"
             )
-        value = int.from_bytes(bytes(data[:count]), "big")
-        return Bits(format(value, f"0{count * 8}b")[:bit_length])
+        value = int.from_bytes(data[:count], "big") >> (count * 8 - bit_length)
+        return Bits._pack(value, bit_length)
 
     def __str__(self) -> str:  # pragma: no cover - debugging helper
         return self.data
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Bits(data={self.data!r})"
+
+
+_EMPTY = Bits._pack(0, 0)
+_ZERO = Bits._pack(0, 1)
+_ONE = Bits._pack(1, 1)
+
 
 class BitWriter:
-    """Accumulates bits and produces a :class:`Bits` value."""
+    """Accumulates bits into a single integer and produces a :class:`Bits`."""
+
+    __slots__ = ("_value", "_length")
 
     def __init__(self) -> None:
-        self._chunks: list[str] = []
+        self._value = 0
         self._length = 0
 
     def __len__(self) -> int:
@@ -121,32 +190,87 @@ class BitWriter:
         """Append a single bit (0 or 1)."""
         if bit not in (0, 1):
             raise BitError(f"bit must be 0 or 1, got {bit!r}")
-        self._chunks.append("1" if bit else "0")
+        self._value = (self._value << 1) | (1 if bit else 0)
         self._length += 1
 
-    def write_bits(self, bits: Bits | str) -> None:
+    def write_bits(self, bits: "Bits | str") -> None:
         """Append an existing bit string."""
-        data = bits.data if isinstance(bits, Bits) else bits
-        if data and set(data) - {"0", "1"}:
-            raise BitError(f"invalid characters in bit string: {data!r}")
-        self._chunks.append(data)
-        self._length += len(data)
+        if isinstance(bits, Bits):
+            self._value = (self._value << bits._length) | bits._value
+            self._length += bits._length
+            return
+        length = len(bits)
+        if length and (set(bits) - {"0", "1"}):
+            raise BitError(f"invalid characters in bit string: {bits!r}")
+        self._value = (self._value << length) | (int(bits, 2) if length else 0)
+        self._length += length
 
     def write_int(self, value: int, width: int) -> None:
         """Append ``value`` as a fixed-width big-endian binary number."""
-        self.write_bits(Bits.from_int(value, width))
+        if value < 0:
+            raise BitError("Bits.from_int expects a non-negative integer")
+        if width < 0:
+            raise BitError("width must be non-negative")
+        if value >> width:
+            raise BitError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._length += width
+
+    def write_zeros(self, count: int) -> None:
+        """Append a run of ``count`` zero bits (one shift, no loop)."""
+        if count < 0:
+            raise BitError("count must be non-negative")
+        self._value <<= count
+        self._length += count
+
+    def write_unary(self, value: int) -> None:
+        """Append the unary code ``0^value 1`` (one shift, no loop)."""
+        if value < 0:
+            raise BitError("unary code encodes non-negative integers only")
+        self._value = (self._value << (value + 1)) | 1
+        self._length += value + 1
 
     def getvalue(self) -> Bits:
         """Return everything written so far as a single :class:`Bits`."""
-        return Bits("".join(self._chunks))
+        return Bits._pack(self._value, self._length)
 
 
 class BitReader:
-    """Sequential reader over a :class:`Bits` value."""
+    """Sequential reader over a :class:`Bits` value (word-at-a-time)."""
 
-    def __init__(self, bits: Bits | str) -> None:
-        self._data = bits.data if isinstance(bits, Bits) else bits
+    __slots__ = ("_value", "_length", "_pos")
+
+    def __init__(self, bits: "Bits | str") -> None:
+        if not isinstance(bits, Bits):
+            bits = Bits(bits)
+        self._value = bits._value
+        self._length = bits._length
         self._pos = 0
+
+    @classmethod
+    def from_bytes(cls, data, bit_length: int) -> "BitReader":
+        """Build a reader straight from packed bytes (or a ``memoryview``).
+
+        This is the zero-copy entry point of the store serving pipeline: the
+        stored label bytes become the reader's integer directly, with no
+        intermediate :class:`Bits` (let alone a character string).
+        """
+        if bit_length < 0:
+            raise BitError("bit_length must be non-negative")
+        count = (bit_length + 7) // 8
+        if len(data) < count:
+            raise BitError(
+                f"need {count} bytes for {bit_length} bits, got {len(data)}"
+            )
+        self = object.__new__(cls)
+        self._value = (
+            int.from_bytes(data[:count], "big") >> (count * 8 - bit_length)
+            if bit_length
+            else 0
+        )
+        self._length = bit_length
+        self._pos = 0
+        return self
 
     @property
     def position(self) -> int:
@@ -155,38 +279,63 @@ class BitReader:
 
     def seek(self, position: int) -> None:
         """Move the read cursor to an absolute bit offset."""
-        if not 0 <= position <= len(self._data):
+        if not 0 <= position <= self._length:
             raise BitError(f"seek position {position} out of range")
         self._pos = position
 
     def remaining(self) -> int:
         """Number of unread bits."""
-        return len(self._data) - self._pos
+        return self._length - self._pos
 
     def read_bit(self) -> int:
         """Read a single bit."""
-        if self._pos >= len(self._data):
+        pos = self._pos
+        if pos >= self._length:
             raise BitError("bit stream exhausted")
-        bit = 1 if self._data[self._pos] == "1" else 0
-        self._pos += 1
-        return bit
+        self._pos = pos + 1
+        return (self._value >> (self._length - pos - 1)) & 1
 
     def read_bits(self, count: int) -> Bits:
         """Read ``count`` bits as a :class:`Bits` value."""
         if count < 0:
             raise BitError("count must be non-negative")
-        if self._pos + count > len(self._data):
+        pos = self._pos
+        if pos + count > self._length:
             raise BitError("bit stream exhausted")
-        out = self._data[self._pos : self._pos + count]
-        self._pos += count
-        return Bits(out)
+        self._pos = pos + count
+        return Bits._pack(
+            (self._value >> (self._length - pos - count)) & ((1 << count) - 1),
+            count,
+        )
 
     def read_int(self, width: int) -> int:
         """Read a fixed-width big-endian binary number."""
-        return self.read_bits(width).to_int()
+        if width < 0:
+            raise BitError("count must be non-negative")
+        pos = self._pos
+        if pos + width > self._length:
+            raise BitError("bit stream exhausted")
+        self._pos = pos + width
+        return (self._value >> (self._length - pos - width)) & ((1 << width) - 1)
+
+    def read_unary(self) -> int:
+        """Read a unary code ``0^k 1`` and return ``k`` (the zero count).
+
+        The run length is found with a single ``bit_length`` call on the
+        unread suffix instead of a bit-by-bit loop.
+        """
+        rem = self._length - self._pos
+        if rem <= 0:
+            raise BitError("bit stream exhausted")
+        suffix = self._value & ((1 << rem) - 1)
+        if not suffix:
+            raise BitError("bit stream exhausted")
+        zeros = rem - suffix.bit_length()
+        self._pos += zeros + 1
+        return zeros
 
     def peek_bit(self) -> int:
         """Look at the next bit without consuming it."""
-        if self._pos >= len(self._data):
+        if self._pos >= self._length:
             raise BitError("bit stream exhausted")
-        return 1 if self._data[self._pos] == "1" else 0
+        return (self._value >> (self._length - self._pos - 1)) & 1

@@ -1,0 +1,213 @@
+"""The pre-packing, character-per-bit bit layer (frozen reference).
+
+This is the original ``repro.encoding.bitio`` implementation, kept verbatim
+(plus the few newer entry points — ``write_zeros``, ``write_unary``,
+``read_unary``, ``BitReader.from_bytes`` — implemented here in the same
+string style so the shared codec functions in :mod:`repro.encoding.elias`,
+:mod:`repro.encoding.varint` and :mod:`repro.encoding.monotone` run
+unchanged against either backend).
+
+It exists for two reasons:
+
+* the differential test suite (``tests/test_bitio_packed.py``) checks every
+  operation of the packed :mod:`repro.encoding.bitio` against this
+  implementation, and
+* the benchmark runners (``benchmarks/bench_query_time.py``,
+  ``benchmarks/bench_encode_time.py``) measure it as the recorded pre-PR
+  baseline, so the speedup of the word-packed layer stays an empirical
+  number rather than a claim.
+
+Nothing in the library imports this module on a hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding.bitio import BitError
+
+
+@dataclass(frozen=True)
+class Bits:
+    """An immutable bit string stored as a ``'0'``/``'1'`` character string."""
+
+    data: str = ""
+
+    def __post_init__(self) -> None:
+        if self.data and set(self.data) - {"0", "1"}:
+            raise BitError(f"invalid characters in bit string: {self.data!r}")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self):
+        return iter(self.data)
+
+    def __getitem__(self, item) -> "Bits":
+        if isinstance(item, slice):
+            return Bits(self.data[item])
+        return Bits(self.data[item])
+
+    def __add__(self, other: "Bits") -> "Bits":
+        return Bits(self.data + other.data)
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    def to_int(self) -> int:
+        """Interpret the bits as a big-endian binary number (empty -> 0)."""
+        return int(self.data, 2) if self.data else 0
+
+    @staticmethod
+    def from_int(value: int, width: int | None = None) -> "Bits":
+        """Encode ``value`` in binary, optionally zero-padded to ``width`` bits."""
+        if value < 0:
+            raise BitError("Bits.from_int expects a non-negative integer")
+        if width is None:
+            return Bits(bin(value)[2:] if value else "")
+        if width < 0:
+            raise BitError("width must be non-negative")
+        if value >= (1 << width) and width > 0:
+            raise BitError(f"value {value} does not fit in {width} bits")
+        if width == 0:
+            if value:
+                raise BitError(f"value {value} does not fit in 0 bits")
+            return Bits("")
+        return Bits(format(value, f"0{width}b"))
+
+    def to_bytes(self) -> bytes:
+        """Pack the bits into bytes, MSB-first, zero-padded at the end."""
+        if not self.data:
+            return b""
+        count = (len(self.data) + 7) // 8
+        padded = self.data.ljust(count * 8, "0")
+        return int(padded, 2).to_bytes(count, "big")
+
+    @staticmethod
+    def from_bytes(data, bit_length: int) -> "Bits":
+        """Unpack ``bit_length`` MSB-first bits from ``data``."""
+        if bit_length < 0:
+            raise BitError("bit_length must be non-negative")
+        if bit_length == 0:
+            return Bits("")
+        count = (bit_length + 7) // 8
+        if len(data) < count:
+            raise BitError(
+                f"need {count} bytes for {bit_length} bits, got {len(data)}"
+            )
+        value = int.from_bytes(bytes(data[:count]), "big")
+        return Bits(format(value, f"0{count * 8}b")[:bit_length])
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return self.data
+
+
+class BitWriter:
+    """Accumulates bits (as string chunks) and produces a :class:`Bits`."""
+
+    def __init__(self) -> None:
+        self._chunks: list[str] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise BitError(f"bit must be 0 or 1, got {bit!r}")
+        self._chunks.append("1" if bit else "0")
+        self._length += 1
+
+    def write_bits(self, bits: "Bits | str") -> None:
+        """Append an existing bit string."""
+        data = bits.data if isinstance(bits, Bits) else bits
+        if data and set(data) - {"0", "1"}:
+            raise BitError(f"invalid characters in bit string: {data!r}")
+        self._chunks.append(data)
+        self._length += len(data)
+
+    def write_int(self, value: int, width: int) -> None:
+        """Append ``value`` as a fixed-width big-endian binary number."""
+        self.write_bits(Bits.from_int(value, width))
+
+    def write_zeros(self, count: int) -> None:
+        """Append a run of ``count`` zero bits."""
+        if count < 0:
+            raise BitError("count must be non-negative")
+        self._chunks.append("0" * count)
+        self._length += count
+
+    def write_unary(self, value: int) -> None:
+        """Append the unary code ``0^value 1``."""
+        if value < 0:
+            raise BitError("unary code encodes non-negative integers only")
+        self._chunks.append("0" * value + "1")
+        self._length += value + 1
+
+    def getvalue(self) -> Bits:
+        """Return everything written so far as a single :class:`Bits`."""
+        return Bits("".join(self._chunks))
+
+
+class BitReader:
+    """Sequential reader over a :class:`Bits` value (character cursor)."""
+
+    def __init__(self, bits: "Bits | str") -> None:
+        self._data = bits.data if isinstance(bits, Bits) else bits
+        self._pos = 0
+
+    @classmethod
+    def from_bytes(cls, data, bit_length: int) -> "BitReader":
+        """Build a reader from packed bytes via the string round-trip."""
+        return cls(Bits.from_bytes(data, bit_length))
+
+    @property
+    def position(self) -> int:
+        """Current read offset in bits."""
+        return self._pos
+
+    def seek(self, position: int) -> None:
+        """Move the read cursor to an absolute bit offset."""
+        if not 0 <= position <= len(self._data):
+            raise BitError(f"seek position {position} out of range")
+        self._pos = position
+
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return len(self._data) - self._pos
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        if self._pos >= len(self._data):
+            raise BitError("bit stream exhausted")
+        bit = 1 if self._data[self._pos] == "1" else 0
+        self._pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> Bits:
+        """Read ``count`` bits as a :class:`Bits` value."""
+        if count < 0:
+            raise BitError("count must be non-negative")
+        if self._pos + count > len(self._data):
+            raise BitError("bit stream exhausted")
+        out = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return Bits(out)
+
+    def read_int(self, width: int) -> int:
+        """Read a fixed-width big-endian binary number."""
+        return self.read_bits(width).to_int()
+
+    def read_unary(self) -> int:
+        """Read a unary code ``0^k 1`` and return ``k``, bit by bit."""
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count
+
+    def peek_bit(self) -> int:
+        """Look at the next bit without consuming it."""
+        if self._pos >= len(self._data):
+            raise BitError("bit stream exhausted")
+        return 1 if self._data[self._pos] == "1" else 0

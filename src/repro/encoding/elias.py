@@ -20,15 +20,15 @@ def encode_gamma(writer: BitWriter, value: int) -> None:
         raise ValueError("Elias gamma encodes non-negative integers only")
     shifted = value + 1
     width = shifted.bit_length()
-    writer.write_bits("0" * (width - 1))
-    writer.write_int(shifted, width)
+    # `shifted` has exactly `width` significant bits, so writing it with
+    # width `2*width - 1` emits the `width - 1` leading zeros of the unary
+    # prefix and the binary part in a single shift.
+    writer.write_int(shifted, 2 * width - 1)
 
 
 def decode_gamma(reader: BitReader) -> int:
     """Read one Elias gamma code and return the encoded value."""
-    zeros = 0
-    while reader.read_bit() == 0:
-        zeros += 1
+    zeros = reader.read_unary()
     rest = reader.read_int(zeros) if zeros else 0
     return ((1 << zeros) | rest) - 1
 

@@ -61,7 +61,7 @@ class MonotoneSequence:
         previous_high = 0
         for value in values:
             high = value >> low_width
-            writer.write_bits("0" * (high - previous_high) + "1")
+            writer.write_unary(high - previous_high)
             previous_high = high
         return writer.getvalue()
 
@@ -89,8 +89,7 @@ class MonotoneSequence:
         values: list[int] = []
         high = 0
         for index in range(count):
-            while reader.read_bit() == 0:
-                high += 1
+            high += reader.read_unary()
             values.append((high << low_width) | lows[index])
         return cls(values)
 
@@ -181,7 +180,7 @@ class UnaryBitVectorView:
         previous_high = 0
         for value in values:
             high = value >> low_width
-            writer.write_bits("0" * (high - previous_high) + "1")
+            writer.write_unary(high - previous_high)
             previous_high = high
         self._vector = BitVector(writer.getvalue())
 

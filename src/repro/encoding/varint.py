@@ -19,15 +19,12 @@ def encode_unary(writer: BitWriter, value: int) -> None:
     """Append ``value`` zeros followed by a terminating one."""
     if value < 0:
         raise ValueError("unary code encodes non-negative integers only")
-    writer.write_bits("0" * value + "1")
+    writer.write_unary(value)
 
 
 def decode_unary(reader: BitReader) -> int:
     """Read a unary code and return the number of leading zeros."""
-    count = 0
-    while reader.read_bit() == 0:
-        count += 1
-    return count
+    return reader.read_unary()
 
 
 def bounded_width(universe: int) -> int:

@@ -80,7 +80,7 @@ class NCALabel:
     def key(self) -> tuple:
         """Hashable identity of the label (labels are unique per node)."""
         return (
-            tuple(word.data for word in self.codewords),
+            tuple(self.codewords),
             tuple(self.exit_distances),
         )
 

@@ -100,9 +100,51 @@ class LabelStore:
         return self._view[self._offsets[node] : self._offsets[node + 1]]
 
     def label_bits(self, node: int) -> Bits:
-        """One label as a :class:`Bits` value (unpacked on demand)."""
+        """One label as a packed :class:`Bits` value.
+
+        The stored bytes become the packed integer directly
+        (:meth:`Bits.from_bytes` on a zero-copy ``memoryview`` slice) — no
+        ``'0'``/``'1'`` character round-trip happens anywhere on this path.
+        """
         self._check_node(node)
         return Bits.from_bytes(self.raw(node), self._bit_lengths[node])
+
+    def label_words(self, nodes):
+        """Yield ``(node, packed_value, bit_length)`` for many labels.
+
+        This is the innermost supply loop of batched serving: each label's
+        bytes are turned into one big integer (the representation
+        :class:`~repro.encoding.bitio.BitReader` and the word-level parsers
+        consume) with no intermediate objects at all.
+        """
+        view = self._view
+        offsets = self._offsets
+        lengths = self._bit_lengths
+        total = len(lengths)
+        from_bytes = int.from_bytes
+        for node in nodes:
+            if not 0 <= node < total:
+                raise StoreError(f"node {node} out of range [0, {total})")
+            bits = lengths[node]
+            if bits:
+                start = offsets[node]
+                count = (bits + 7) >> 3
+                value = from_bytes(
+                    view[start : start + count], "big"
+                ) >> ((count << 3) - bits)
+            else:
+                value = 0
+            yield node, value, bits
+
+    def buffers(self) -> tuple[memoryview, list[int], list[int]]:
+        """The raw packed representation: ``(view, byte_offsets, bit_lengths)``.
+
+        Label ``i`` occupies ``view[byte_offsets[i]:byte_offsets[i + 1]]``
+        and is ``bit_lengths[i]`` bits long.  Word-level bulk parsers
+        (``scheme.parse_many`` overrides) read labels straight from these
+        buffers; everything is read-only.
+        """
+        return self._view, self._offsets, self._bit_lengths
 
     def iter_bits(self):
         """All labels in node order."""

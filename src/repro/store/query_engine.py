@@ -1,9 +1,15 @@
 """Query serving on top of a :class:`repro.store.LabelStore`.
 
 The engine is decoder-only: it sees packed bits, never the tree.  Parsing a
-label (bit string -> label object) dominates CPython query cost, so the
+label (packed word -> label object) dominates CPython query cost, so the
 engine keeps a bounded LRU cache of parsed labels and offers batch entry
 points that parse each distinct endpoint exactly once.
+
+The batch supply path is zero-string end to end: the store yields
+``(node, packed_value, bit_length)`` words (:meth:`LabelStore.label_words`)
+and the scheme's ``parse_many`` turns them into label objects — no
+character-per-bit strings, and for schemes with a word-level parser no
+intermediate :class:`~repro.encoding.bitio.Bits` either.
 """
 
 from __future__ import annotations
@@ -12,6 +18,11 @@ from collections import OrderedDict
 from typing import Iterable, Sequence
 
 from repro.store.label_store import LabelStore
+
+#: cache-miss sentinel: one ``dict.get`` resolves hit-or-miss without a
+#: second ``in`` lookup (``None`` is not usable — it is a valid label value
+#: only in theory, but the sentinel also guards against that)
+_MISSING = object()
 
 
 class QueryEngine:
@@ -54,10 +65,11 @@ class QueryEngine:
     def parsed_label(self, node: int):
         """The parsed label of ``node``, LRU-cached."""
         cache = self._cache
-        if node in cache:
+        label = cache.get(node, _MISSING)
+        if label is not _MISSING:
             cache.move_to_end(node)
             self.cache_hits += 1
-            return cache[node]
+            return label
         self.cache_misses += 1
         label = self.scheme.parse(self.store.label_bits(node))
         cache[node] = label
@@ -66,11 +78,35 @@ class QueryEngine:
         return label
 
     def _parse_batch(self, nodes: Iterable[int]) -> dict[int, object]:
-        """Parse each distinct node once, reusing (and warming) the cache."""
+        """Parse each distinct node once, reusing (and warming) the cache.
+
+        Per-node LRU bookkeeping is skipped: every requested node is being
+        collected into the returned local dict anyway, so cache hits are
+        plain lookups (no recency promotion) and freshly parsed labels are
+        inserted in bulk, with a single eviction sweep at the end.
+        """
         parsed: dict[int, object] = {}
-        for node in nodes:
-            if node not in parsed:
-                parsed[node] = self.parsed_label(node)
+        cache_get = self._cache.get
+        hits = 0
+        missing: list[int] = []
+        for node in dict.fromkeys(nodes):  # C-speed, order-preserving dedup
+            label = cache_get(node, _MISSING)
+            if label is not _MISSING:
+                hits += 1
+                parsed[node] = label
+            else:
+                missing.append(node)
+        self.cache_hits += hits
+        if missing:
+            self.cache_misses += len(missing)
+            fresh = self.scheme.parse_many(self.store, missing)
+            parsed.update(fresh)
+            cache = self._cache
+            cache.update(fresh)
+            if len(cache) > self._cache_size:
+                pop = cache.popitem
+                for _ in range(len(cache) - self._cache_size):
+                    pop(last=False)
         return parsed
 
     # -- queries -------------------------------------------------------------
@@ -85,7 +121,11 @@ class QueryEngine:
 
     def batch_query(self, pairs: Sequence[tuple[int, int]]) -> list:
         """Answer many queries, parsing each distinct endpoint once."""
-        parsed = self._parse_batch(node for pair in pairs for node in pair)
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        us, vs = zip(*pairs)
+        parsed = self._parse_batch(us + vs)
         query = self.scheme.query
         return [query(parsed[u], parsed[v]) for u, v in pairs]
 
@@ -93,41 +133,64 @@ class QueryEngine:
         """Alias of :meth:`batch_query` for the common exact-scheme case."""
         return self.batch_query(pairs)
 
-    def distance_matrix(self, nodes: Sequence[int] | None = None) -> list[list]:
+    def distance_matrix(
+        self,
+        nodes: Sequence[int] | None = None,
+        assume_symmetric: bool = True,
+    ) -> list[list]:
         """All pairwise answers over ``nodes`` (default: every node).
 
-        Each label is parsed once; the matrix is symmetric for every scheme
-        in this library but is computed entry-by-entry all the same, so the
-        engine stays agnostic of the scheme's internals.
+        Every scheme in this library answers symmetrically, so by default
+        only the upper triangle is computed and the lower triangle is
+        mirrored — roughly halving matrix time.  Pass
+        ``assume_symmetric=False`` to force the full entry-by-entry
+        computation (e.g. for a custom scheme with asymmetric semantics).
 
-        When the target set is larger than the cache, labels are parsed into
-        a local list that bypasses the LRU entirely: inserting them would
-        evict every warm entry without any of the parses ever being a cache
-        hit, and later misses on the evicted nodes would be counted twice.
-        Cached labels are still reused (without promotion).
+        Each label is parsed once.  When the target set is larger than the
+        cache, labels are parsed into a local list that bypasses the LRU
+        entirely: inserting them would evict every warm entry without any of
+        the parses ever being a cache hit, and later misses on the evicted
+        nodes would be counted twice.  Cached labels are still reused
+        (without promotion).
         """
         targets = list(range(self.store.n)) if nodes is None else list(nodes)
         if len(targets) <= self._cache_size:
-            parsed = [self.parsed_label(node) for node in targets]
+            by_node = self._parse_batch(targets)
+            parsed = [by_node[node] for node in targets]
         else:
-            cache = self._cache
-            parse = self.scheme.parse
-            label_bits = self.store.label_bits
+            cache_get = self._cache.get
+            seen: set[int] = set()
+            missing: list[int] = []
+            for node in targets:
+                if cache_get(node, _MISSING) is _MISSING and node not in seen:
+                    missing.append(node)
+                    seen.add(node)
             local: dict[int, object] = {}
+            if missing:
+                self.cache_misses += len(missing)
+                local = self.scheme.parse_many(self.store, missing)
             parsed = []
             for node in targets:
-                label = cache.get(node)
-                if label is not None:
+                label = cache_get(node, _MISSING)
+                if label is not _MISSING:
                     self.cache_hits += 1
-                elif node in local:
-                    label = local[node]
                 else:
-                    self.cache_misses += 1
-                    label = parse(label_bits(node))
-                    local[node] = label
+                    label = local[node]
                 parsed.append(label)
         query = self.scheme.query
-        return [[query(a, b) for b in parsed] for a in parsed]
+        if not assume_symmetric:
+            return [[query(a, b) for b in parsed] for a in parsed]
+        size = len(parsed)
+        matrix: list[list] = [[0] * size for _ in range(size)]
+        for i in range(size):
+            label_i = parsed[i]
+            row = matrix[i]
+            row[i] = query(label_i, label_i)
+            for j in range(i + 1, size):
+                answer = query(label_i, parsed[j])
+                row[j] = answer
+                matrix[j][i] = answer
+        return matrix
 
     # -- cache management ----------------------------------------------------
 

@@ -1,10 +1,14 @@
-"""Static bit vector with rank and select support.
+"""Static bit vector with rank and select support (word-packed).
 
 ``rank1(i)`` counts ones in the prefix ``[0, i)`` (block-based, Jacobson
 style) and ``select1(k)`` returns the position of the ``k``-th one (1-based,
 Clark-style position sampling).  Both are used by the Lemma 2.2 monotone
 sequence encoder: select recovers quotient values from the unary stream,
 rank counts element boundaries inside a prefix.
+
+The vector is stored as a single packed integer (MSB = position 0), so rank
+blocks are popcounts (``int.bit_count``) of extracted words rather than
+character scans.
 """
 
 from __future__ import annotations
@@ -15,37 +19,60 @@ from repro.encoding.bitio import Bits
 class BitVector:
     """An immutable bit vector supporting block-accelerated rank and select."""
 
-    _BLOCK = 32
+    _BLOCK = 64
 
     def __init__(self, bits: Bits | str | list[int]) -> None:
         if isinstance(bits, Bits):
-            data = bits.data
+            value, length = bits.to_int(), len(bits)
         elif isinstance(bits, str):
-            data = bits
+            if bits and set(bits) - {"0", "1"}:
+                raise ValueError("bit vector accepts only 0/1 characters")
+            value, length = (int(bits, 2) if bits else 0), len(bits)
         else:
-            data = "".join("1" if b else "0" for b in bits)
-        if data and set(data) - {"0", "1"}:
-            raise ValueError("bit vector accepts only 0/1 characters")
-        self._data = data
+            value, length = 0, 0
+            for b in bits:
+                value = (value << 1) | (1 if b else 0)
+                length += 1
+        self._value = value
+        self._length = length
         self._build()
 
     def _build(self) -> None:
         block = self._BLOCK
-        data = self._data
+        value = self._value
+        length = self._length
         prefix = [0]
-        for start in range(0, len(data), block):
-            prefix.append(prefix[-1] + data.count("1", start, start + block))
+        one_positions: list[int] = []
+        for start in range(0, length, block):
+            end = min(start + block, length)
+            word = (value >> (length - end)) & ((1 << (end - start)) - 1)
+            prefix.append(prefix[-1] + word.bit_count())
+            # lowest-set-bit extraction yields this word's positions in
+            # descending order; reverse per block to keep the list sorted
+            width = end - start
+            block_positions = []
+            while word:
+                low = word & -word
+                offset = low.bit_length() - 1
+                block_positions.append(start + width - 1 - offset)
+                word ^= low
+            block_positions.reverse()
+            one_positions.extend(block_positions)
         self._prefix = prefix
         self._total_ones = prefix[-1]
-        self._one_positions = [i for i, ch in enumerate(data) if ch == "1"]
+        self._one_positions = one_positions
 
     # -- queries -------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._length
 
     def __getitem__(self, index: int) -> int:
-        return 1 if self._data[index] == "1" else 0
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("bit vector index out of range")
+        return (self._value >> (self._length - 1 - index)) & 1
 
     @property
     def ones(self) -> int:
@@ -54,11 +81,15 @@ class BitVector:
 
     def rank1(self, position: int) -> int:
         """Number of ones in ``[0, position)``."""
-        if not 0 <= position <= len(self._data):
+        if not 0 <= position <= self._length:
             raise IndexError(f"rank position {position} out of range")
-        block_index = position // self._BLOCK
-        count = self._prefix[block_index]
-        count += self._data.count("1", block_index * self._BLOCK, position)
+        block_start = (position // self._BLOCK) * self._BLOCK
+        count = self._prefix[position // self._BLOCK]
+        if position > block_start:
+            word = (self._value >> (self._length - position)) & (
+                (1 << (position - block_start)) - 1
+            )
+            count += word.bit_count()
         return count
 
     def rank0(self, position: int) -> int:
@@ -73,10 +104,10 @@ class BitVector:
 
     def select0(self, k: int) -> int:
         """Position of the ``k``-th zero (1-based), by binary search on rank0."""
-        zeros = len(self._data) - self._total_ones
+        zeros = self._length - self._total_ones
         if not 1 <= k <= zeros:
             raise IndexError(f"select0({k}) out of range (have {zeros} zeros)")
-        lo, hi = 0, len(self._data) - 1
+        lo, hi = 0, self._length - 1
         while lo < hi:
             mid = (lo + hi) // 2
             if self.rank0(mid + 1) >= k:
@@ -87,8 +118,9 @@ class BitVector:
 
     def to_bits(self) -> Bits:
         """Return the underlying bits."""
-        return Bits(self._data)
+        return Bits.from_int(self._value, self._length) if self._length else Bits()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        shown = self._data if len(self._data) <= 32 else self._data[:32] + "..."
+        data = self.to_bits().data
+        shown = data if self._length <= 32 else data[:32] + "..."
         return f"BitVector({shown!r}, ones={self._total_ones})"
