@@ -1,0 +1,257 @@
+"""Experiment S-throughput: network serving with and without micro-batching.
+
+The server's coalescer turns every event-loop tick's worth of pipelined
+QUERY requests — across all connections — into one ``QueryEngine.batch``
+call and one response write per connection.  This runner measures what that
+is worth end to end: a real ``repro-labels serve`` subprocess on loopback,
+driven by the shared load generator (:mod:`repro.serve.loadgen`) under
+uniform and Zipf-skewed workloads, against the same server started with
+``--no-coalesce`` (the naive one-request-per-batch path).
+
+``python benchmarks/bench_serve_throughput.py`` writes
+``BENCH_serve_throughput.json`` at the repo root; the recorded gate is
+coalesced >= 2x naive on the 10k-pair uniform workload.  The pytest entry
+points below only smoke the plumbing (tiny sizes, no timing assertions) so
+CI machine noise cannot flake them.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+import perf_common  # the src/ path shim plus shared timing helpers  # noqa: F401
+
+from repro.api import DistanceIndex
+from repro.generators.workloads import make_tree
+from repro.serve.loadgen import run_load
+
+_READY = re.compile(r"serving .* on ([0-9.]+):(\d+) \[")
+
+
+def spawn_server(store_path: str, *, coalesce: bool, port: int = 0):
+    """Start ``repro-labels serve`` on loopback; returns ``(process, host, port)``.
+
+    The server picks an ephemeral port (``--port 0``) and we parse the
+    actual address from its ready line.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        store_path,
+        "--host",
+        "127.0.0.1",
+        "--port",
+        str(port),
+    ]
+    if not coalesce:
+        command.append("--no-coalesce")
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.path.join(perf_common.REPO_ROOT, "src") + (
+        os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=environment,
+    )
+    line = process.stdout.readline()
+    match = _READY.search(line)
+    if not match:
+        process.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return process, match.group(1), int(match.group(2))
+
+
+def shutdown_server(process) -> str:
+    """SIGTERM the server and return its shutdown summary line."""
+    process.send_signal(signal.SIGTERM)
+    output, _ = process.communicate(timeout=30)
+    if process.returncode != 0:
+        raise RuntimeError(f"server exited {process.returncode}: {output!r}")
+    for line in output.splitlines():
+        if line.startswith("shutdown:"):
+            return line
+    raise RuntimeError(f"server never printed its shutdown summary: {output!r}")
+
+
+def _measure(store_path: str, *, coalesce: bool, workload: str, pairs: int,
+             connections: int, window: int, skew: float = 1.1, seed: int = 0,
+             warmup: int = 0, repeats: int = 1) -> dict:
+    """Drive one server mode; optional warmup pass and best-of-``repeats``.
+
+    The warmup pass parses every touched label into the engine's LRU before
+    the timed runs, so both modes are measured at the steady state the
+    server actually serves from (cold-start cost is the store's concern and
+    is gated separately in ``BENCH_query_time.json``).
+    """
+    process, host, port = spawn_server(store_path, coalesce=coalesce)
+    try:
+        if warmup:
+            run_load(
+                host, port, pairs=warmup, workload=workload, skew=skew,
+                connections=connections, window=window, seed=seed,
+            )
+        report = None
+        for _ in range(max(1, repeats)):
+            candidate = run_load(
+                host,
+                port,
+                pairs=pairs,
+                workload=workload,
+                skew=skew,
+                connections=connections,
+                window=window,
+                seed=seed,
+            )
+            if report is None or candidate["qps"] > report["qps"]:
+                report = candidate
+    finally:
+        shutdown = shutdown_server(process)
+    server = report["server"]
+    return {
+        "qps": report["qps"],
+        "seconds": report["seconds"],
+        "checksum": report["checksum"],
+        "p50_ms": server["latency_ms"]["p50"],
+        "p99_ms": server["latency_ms"]["p99"],
+        "mean_batch_size": server["mean_batch_size"],
+        "flushes": server["flushes"],
+        "cache_hit_rate": server["index"]["cache_hit_rate"] if "index" in server else None,
+        "shutdown": shutdown,
+    }
+
+
+# -- pytest smoke entry points (no timing assertions) -------------------------
+
+
+def test_subprocess_server_round_trip_and_clean_shutdown(tmp_path):
+    """Both serving modes answer a small workload identically and shut down
+    cleanly on SIGTERM (the CI smoke path)."""
+    tree = make_tree("random", 200, seed=23)
+    index = DistanceIndex.build(tree, "freedman")
+    store_path = str(tmp_path / "bench_serve.bin")
+    index.save(store_path)
+    checksums = {}
+    for coalesce in (True, False):
+        row = _measure(
+            store_path,
+            coalesce=coalesce,
+            workload="uniform",
+            pairs=400,
+            connections=2,
+            window=32,
+        )
+        checksums[coalesce] = row["checksum"]
+        assert row["shutdown"].startswith("shutdown:")
+        assert "400 queries" in row["shutdown"]
+    assert checksums[True] == checksums[False]
+
+
+def test_zipf_workload_over_the_wire(tmp_path):
+    tree = make_tree("random", 300, seed=29)
+    DistanceIndex.build(tree, "freedman").save(str(tmp_path / "z.bin"))
+    row = _measure(
+        str(tmp_path / "z.bin"),
+        coalesce=True,
+        workload="zipf",
+        pairs=500,
+        connections=2,
+        window=32,
+        skew=1.2,
+    )
+    assert row["qps"] > 0
+    assert row["cache_hit_rate"] > 0.5  # the hot set stays cached
+
+
+# -- machine-readable runner (BENCH_serve_throughput.json) --------------------
+
+
+def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
+    """Measure coalesced vs naive serving and write the JSON trajectory.
+
+    The gate (recorded, and asserted when this file runs as a script):
+    micro-batched serving >= 2x the naive one-request-per-batch path on the
+    10k-pair uniform workload.
+    """
+    n = 512 if smoke else 4096
+    pairs = 2000 if smoke else 10000
+    connections = 2 if smoke else 4
+    window = 64 if smoke else 128
+    warmup = 500 if smoke else 4000
+    repeats = 2 if smoke else 3
+    required_speedup = 2.0
+
+    tree = make_tree("random", n, seed=23)
+    index = DistanceIndex.build(tree, "freedman")
+    workloads_json: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        store_path = os.path.join(scratch, "serve_bench.bin")
+        index.save(store_path)
+        for workload in ("uniform", "zipf"):
+            rows = {}
+            for label, coalesce in (("coalesced", True), ("naive", False)):
+                rows[label] = _measure(
+                    store_path,
+                    coalesce=coalesce,
+                    workload=workload,
+                    pairs=pairs,
+                    connections=connections,
+                    window=window,
+                    warmup=warmup,
+                    repeats=repeats,
+                )
+            if rows["coalesced"]["checksum"] != rows["naive"]["checksum"]:
+                raise AssertionError("serving modes disagree on query answers")
+            rows["speedup"] = round(rows["coalesced"]["qps"] / rows["naive"]["qps"], 2)
+            workloads_json[workload] = rows
+
+    speedup = workloads_json["uniform"]["speedup"]
+    payload = {
+        "benchmark": "serve_throughput",
+        "mode": "smoke" if smoke else "full",
+        "scheme": "freedman",
+        "n": n,
+        "pairs": pairs,
+        "connections": connections,
+        "window": window,
+        "workloads": workloads_json,
+        "gate": {
+            "description": (
+                "repro-labels serve (micro-batched coalescer) vs the same "
+                "server with --no-coalesce (one-request-per-batch), pipelined "
+                f"loadgen over {connections} connections on loopback"
+            ),
+            "workload": "uniform",
+            "coalesced_qps": workloads_json["uniform"]["coalesced"]["qps"],
+            "naive_qps": workloads_json["uniform"]["naive"]["qps"],
+            "speedup": speedup,
+            "required_speedup": required_speedup,
+            "pass": speedup >= required_speedup,
+        },
+    }
+    path = perf_common.write_json("BENCH_serve_throughput.json", payload, out=out)
+    print(f"wrote {path}")
+    print(
+        f"gate: {speedup}x (required {required_speedup}x, "
+        f"pass={payload['gate']['pass']})"
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small CI sizes")
+    parser.add_argument("--out", default=None, help="output path override")
+    arguments = parser.parse_args()
+    run_perf_json(smoke=arguments.smoke, out=arguments.out)

@@ -153,6 +153,14 @@ class DistanceIndex:
         """The serving engine backing this index (internal layer)."""
         return self._engine
 
+    def describe(self) -> dict:
+        """Cheap summary (``spec``, ``kind``, ``n``) — no store scans.
+
+        This is the single-index twin of :meth:`IndexCatalog.describe`; the
+        network server's INFO message is built from it.
+        """
+        return {"spec": self.spec, "kind": self.kind, "n": self.n}
+
     def stats(self) -> dict:
         """Size and serving statistics of this index."""
         store = self._engine.store

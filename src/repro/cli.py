@@ -19,6 +19,17 @@ by name::
 registered names); parameters ride in the spec (``approximate:epsilon=0.1``)
 or through the legacy ``--k`` / ``--epsilon`` flags.
 
+The serving workflow puts an index (or a whole catalog) behind a TCP
+endpoint and drives it with synthetic traffic::
+
+    repro-labels serve labels.bin --port 7117
+    repro-labels serve forest.cat --port 7117
+    repro-labels loadgen --port 7117 --pairs 20000 --workload zipf --skew 1.1
+
+``serve`` answers the :mod:`repro.serve` wire protocol with micro-batched
+query coalescing (``--no-coalesce`` for the naive baseline); ``loadgen``
+reports client-side throughput and the server's own statistics.
+
 The experiment commands mirror the index of DESIGN.md so every table and
 figure of the paper can be regenerated from the shell::
 
@@ -148,6 +159,49 @@ def build_parser() -> argparse.ArgumentParser:
         "store-bench", help="batched vs per-pair query throughput"
     )
     _add_size_options(store_bench)
+
+    serve = commands.add_parser(
+        "serve", help="serve an index or catalog file over TCP"
+    )
+    serve.add_argument("target", help="store (RLS1) or catalog (RLC1) file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7117)
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="parsed-label LRU size (store targets; catalogs use the default)",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="answer each query alone (the naive one-request-per-batch path)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8192,
+        help="flush the coalescer early beyond this many pending queries",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a serve endpoint with a synthetic workload"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7117)
+    loadgen.add_argument("--name", default="", help="catalog member to query")
+    loadgen.add_argument("--pairs", type=int, default=10000)
+    loadgen.add_argument(
+        "--workload", default="uniform", help="pair workload: uniform or zipf"
+    )
+    loadgen.add_argument(
+        "--skew", type=float, default=1.0, help="Zipf exponent (zipf workload)"
+    )
+    loadgen.add_argument("--connections", type=int, default=4)
+    loadgen.add_argument(
+        "--window", type=int, default=128,
+        help="in-flight queries per connection (or BATCH size in batch mode)",
+    )
+    loadgen.add_argument(
+        "--mode", choices=["pipeline", "batch"], default="pipeline",
+        help="pipeline: one QUERY per pair; batch: window-sized BATCH requests",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -315,6 +369,102 @@ def _catalog(args) -> str:
     return _run_queries(index, header, args)
 
 
+def _open_serve_target(path: str, cache_size: int):
+    """``(target, description)`` from a store or catalog file, by magic."""
+    from repro.api import CATALOG_MAGIC, DistanceIndex, IndexCatalog
+
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic == CATALOG_MAGIC:
+        catalog = IndexCatalog.load(path)
+        return catalog, f"catalog {path} ({len(catalog)} member(s))"
+    index = DistanceIndex.open(path, cache_size=cache_size)
+    return index, f"index {path} (scheme={index.spec}, n={index.n})"
+
+
+def _serve(args) -> str:
+    import asyncio
+    import signal
+
+    from repro.serve import LabelServer
+
+    target, description = _open_serve_target(args.target, args.cache_size)
+    server = LabelServer(
+        target, coalesce=not args.no_coalesce, max_batch=args.max_batch
+    )
+
+    async def run() -> None:
+        host, port = await server.start(args.host, args.port)
+        mode = "micro-batched" if server.coalesce else "naive (no coalescing)"
+        print(f"serving {description} on {host}:{port} [{mode}]", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({serving, stopping}, return_when=asyncio.FIRST_COMPLETED)
+        serving.cancel()
+        stopping.cancel()
+        await server.stop()
+        if serving.done() and not serving.cancelled() and serving.exception():
+            # a crashed server must not masquerade as a clean shutdown
+            raise serving.exception()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # platforms without add_signal_handler
+        pass
+    stats = server.stats()
+    return (
+        f"shutdown: {stats['queries']} queries + "
+        f"{stats['batch_request_pairs']} batched pairs answered over "
+        f"{stats['connections_total']} connection(s); "
+        f"{stats['flushes']} coalescer flushes "
+        f"(mean batch {stats['mean_batch_size']}), {stats['errors']} errors"
+    )
+
+
+def _loadgen(args) -> str:
+    from repro.serve.loadgen import run_load
+
+    report = run_load(
+        args.host,
+        args.port,
+        name=args.name,
+        pairs=args.pairs,
+        workload=args.workload,
+        skew=args.skew,
+        connections=args.connections,
+        window=args.window,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    server = report["server"]
+    latency = server["latency_ms"]
+    lines = [
+        f"loadgen {report['workload']}"
+        + (f"(skew={report['skew']:g})" if report["skew"] is not None else "")
+        + f" x{report['pairs']} pairs, mode={report['mode']}, "
+        f"{report['connections']} connection(s), window {report['window']}",
+        f"client: {report['qps']:,.0f} queries/s over {report['seconds']:.2f}s "
+        f"(checksum {report['checksum']:g})",
+        f"server: {server['qps']:,.0f} q/s lifetime, "
+        f"p50 {latency['p50']:.3f}ms p99 {latency['p99']:.3f}ms, "
+        f"mean coalesced batch {server['mean_batch_size']}",
+    ]
+    index_stats = server.get("index")
+    if index_stats and index_stats.get("open", True):
+        lines.append(
+            f"member {index_stats['name']!r}: spec={index_stats['spec']} "
+            f"n={index_stats['n']} cache hit rate {index_stats['cache_hit_rate']:.2%}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
@@ -336,15 +486,25 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "demo":
         print(_demo(args.family, args.n, args.seed))
         return 0
-    elif args.command in ("encode", "query", "catalog"):
+    elif args.command in ("encode", "query", "catalog", "serve", "loadgen"):
         from repro.api import CatalogError, SpecError
         from repro.store import StoreError
 
-        handlers = {"encode": _encode, "query": _query, "catalog": _catalog}
+        handlers = {
+            "encode": _encode,
+            "query": _query,
+            "catalog": _catalog,
+            "serve": _serve,
+            "loadgen": _loadgen,
+        }
         try:
             print(handlers[args.command](args))
             return 0
         except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except OSError as error:
+            # bind/connect failures (address in use, connection refused, ...)
             print(f"error: {error}", file=sys.stderr)
             return 2
         except (StoreError, CatalogError, SpecError, KeyError, ValueError) as error:

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.core.base import DistanceLabelingScheme
 from repro.encoding.alphabetic import common_codeword_prefix
-from repro.encoding.bitio import BitReader, BitWriter, Bits
+from repro.encoding.bitio import BitError, BitReader, BitWriter, Bits
 from repro.encoding.elias import decode_delta, decode_gamma, encode_delta, encode_gamma
 from repro.encoding.monotone import MonotoneSequence
 from repro.nca.labels import LightDepthLabeling
@@ -195,6 +195,124 @@ class FreedmanLabel:
             - kept
             - accumulated,
         }
+
+
+def _parse_word(value: int, total: int) -> FreedmanLabel:
+    """Decode one serialised label straight from its packed integer.
+
+    The word-level twin of :meth:`FreedmanLabel.from_bits`: the same field
+    grammar (delta/gamma headers, light codewords, two monotone sequences,
+    entry triples, accumulators) decoded with shifts and masks on the packed
+    word — no :class:`BitReader`, and crucially no
+    :class:`~repro.encoding.monotone.MonotoneSequence` reconstruction (the
+    generic path re-encodes both sequences and builds predecessor structures
+    that a parsed-label consumer never touches).
+    """
+    rem = total
+    pack = Bits._pack
+
+    def gamma() -> int:
+        # single-call gamma: the code's value is the top ``zeros + 1`` bits
+        # starting at the leading one (same arithmetic as the HLD parser)
+        nonlocal rem
+        suffix = value & ((1 << rem) - 1)
+        if not suffix:
+            raise BitError("bit stream exhausted")
+        significant = suffix.bit_length()
+        width = rem - significant + 1  # zeros + 1
+        if width > significant:
+            raise BitError("bit stream exhausted")
+        rem -= 2 * width - 1
+        return (suffix >> (significant - width)) - 1
+
+    def delta() -> int:
+        nonlocal rem
+        width = gamma() + 1
+        if width == 1:
+            return 0
+        if width - 1 > rem:
+            raise BitError("bit stream exhausted")
+        rem -= width - 1
+        return ((1 << (width - 1)) | ((value >> rem) & ((1 << (width - 1)) - 1))) - 1
+
+    def gamma_bits() -> Bits:
+        # gamma-coded length followed by that many payload bits
+        nonlocal rem
+        count = gamma()
+        if count > rem:
+            raise BitError("bit stream exhausted")
+        rem -= count
+        return pack((value >> rem) & ((1 << count) - 1), count)
+
+    def monotone_values() -> list[int]:
+        # the value list of one MonotoneSequence (Lemma 2.2 layout: count,
+        # low width, packed low parts, unary-coded high-part differences)
+        nonlocal rem
+        count = gamma()
+        if count == 0:
+            return []
+        low_width = gamma()
+        if low_width:
+            if count * low_width > rem:
+                raise BitError("bit stream exhausted")
+            lows = []
+            mask = (1 << low_width) - 1
+            for _ in range(count):
+                rem -= low_width
+                lows.append((value >> rem) & mask)
+        else:
+            lows = [0] * count
+        values: list[int] = []
+        high = 0
+        suffix = value & ((1 << rem) - 1)
+        for index in range(count):
+            if not suffix:
+                raise BitError("bit stream exhausted")
+            zeros = rem - suffix.bit_length()
+            rem -= zeros + 1
+            suffix &= (1 << rem) - 1
+            high += zeros
+            values.append((high << low_width) | lows[index])
+        return values
+
+    node_id = delta()
+    root_distance = delta()
+    domination = delta()
+    depth = gamma()
+    codewords = [gamma_bits() for _ in range(depth)]
+    light_weights = [gamma() for _ in range(depth)]
+    fragment_refs = monotone_values()
+    fragment_distances = monotone_values()
+    entry_skip: list[bool] = []
+    entry_kept: list[Bits] = []
+    entry_pushed: list[int] = []
+    empty = pack(0, 0)
+    for _ in range(depth):
+        if not rem:
+            raise BitError("bit stream exhausted")
+        rem -= 1
+        if (value >> rem) & 1:
+            entry_skip.append(True)
+            entry_kept.append(empty)
+            entry_pushed.append(0)
+        else:
+            entry_skip.append(False)
+            entry_kept.append(gamma_bits())
+            entry_pushed.append(gamma())
+    accumulators = [gamma_bits() for _ in range(depth)]
+    return FreedmanLabel(
+        node_id=node_id,
+        root_distance=root_distance,
+        domination=domination,
+        codewords=codewords,
+        light_weights=light_weights,
+        fragment_refs=fragment_refs,
+        fragment_distances=fragment_distances,
+        entry_skip=entry_skip,
+        entry_kept=entry_kept,
+        entry_pushed=entry_pushed,
+        accumulators=accumulators,
+    )
 
 
 class FreedmanScheme(DistanceLabelingScheme):
@@ -428,3 +546,18 @@ class FreedmanScheme(DistanceLabelingScheme):
 
     def parse(self, bits: Bits) -> FreedmanLabel:
         return FreedmanLabel.from_bits(bits)
+
+    def parse_many(self, store, nodes) -> dict[int, FreedmanLabel]:
+        """Word-level bulk parse: packed store words straight into labels.
+
+        Each ``label_words`` word is decoded by :func:`_parse_word` with no
+        reader objects, no intermediate :class:`Bits` and no
+        ``MonotoneSequence`` reconstruction (unlike HLD there is no shared
+        header to specialise on, so the store's own word supply loop is
+        used as-is); ``tests/test_freedman_parse_many.py`` checks this path
+        field-for-field against the generic ``parse`` route.
+        """
+        return {
+            node: _parse_word(value, bits)
+            for node, value, bits in store.label_words(nodes)
+        }

@@ -46,10 +46,19 @@ def decode_bounded(reader: BitReader, universe: int) -> int:
     return reader.read_int(bounded_width(universe))
 
 
+#: all 128 one-byte codes, precomputed: the wire protocol encodes several
+#: small fields (opcount, name length, frame length) per message
+_ONE_BYTE = [bytes((value,)) for value in range(128)]
+
+
 def encode_uvarint(value: int) -> bytes:
     """LEB128: 7 value bits per byte, high bit set on all but the last."""
+    if 0 <= value < 128:
+        return _ONE_BYTE[value]
     if value < 0:
         raise ValueError("uvarint encodes non-negative integers only")
+    if value < 16384:
+        return bytes((0x80 | (value & 0x7F), value >> 7))
     out = bytearray()
     while True:
         byte = value & 0x7F

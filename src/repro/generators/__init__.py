@@ -26,7 +26,11 @@ from repro.generators.workloads import (
     all_pairs,
     random_pairs,
     near_pairs,
+    uniform_pairs,
+    zipf_pairs,
+    pair_workload,
     FAMILIES,
+    WORKLOADS,
     make_tree,
 )
 
@@ -45,6 +49,10 @@ __all__ = [
     "random_pairs",
     "all_pairs",
     "near_pairs",
+    "uniform_pairs",
+    "zipf_pairs",
+    "pair_workload",
     "FAMILIES",
+    "WORKLOADS",
     "make_tree",
 ]

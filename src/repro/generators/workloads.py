@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+from itertools import accumulate
 from typing import Callable
 
 from repro.generators.random_trees import (
@@ -48,9 +49,67 @@ def random_pairs(
     tree: RootedTree, count: int, seed: int | random.Random | None = 0
 ) -> list[tuple[int, int]]:
     """Uniformly random query pairs (may include equal endpoints)."""
+    return uniform_pairs(tree, count, seed)
+
+
+def uniform_pairs(
+    n: int | RootedTree, count: int, seed: int | random.Random | None = 0
+) -> list[tuple[int, int]]:
+    """Uniform pairs over ``0..n-1``; ``n`` may be a node count or a tree.
+
+    The serving workloads (``repro-labels loadgen``, the serve benchmarks)
+    know only the index's node count, not the tree, so this is the
+    tree-free twin of :func:`random_pairs`.
+    """
+    n = n.n if isinstance(n, RootedTree) else int(n)
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    n = tree.n
-    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+    randrange = rng.randrange
+    return [(randrange(n), randrange(n)) for _ in range(count)]
+
+
+def zipf_pairs(
+    n: int | RootedTree,
+    count: int,
+    skew: float = 1.0,
+    seed: int | random.Random | None = 0,
+) -> list[tuple[int, int]]:
+    """Zipf-skewed query pairs: endpoint popularity ~ ``rank^-skew``.
+
+    Real query traffic concentrates on a few hot entities; this workload
+    reproduces that shape so caches (the engine's parsed-label LRU, a
+    server's warm members) are exercised under realistic reuse.  Node ids
+    are assigned to popularity ranks through a seeded shuffle, so the hot
+    set is scattered across the id space rather than clustered at 0.
+    ``skew=0`` degenerates to the uniform workload; ``skew`` around 1 is
+    the classic web-traffic shape, larger is hotter.
+    """
+    n = n.n if isinstance(n, RootedTree) else int(n)
+    if n < 1:
+        raise ValueError("zipf_pairs needs at least one node")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    cumulative = list(accumulate((rank + 1) ** -skew for rank in range(n)))
+    endpoints = rng.choices(nodes, cum_weights=cumulative, k=2 * count)
+    return list(zip(endpoints[:count], endpoints[count:]))
+
+
+#: serving workload registry: name -> generator(n_or_tree, count, seed, **params)
+WORKLOADS: dict[str, Callable[..., list[tuple[int, int]]]] = {
+    "uniform": uniform_pairs,
+    "zipf": zipf_pairs,
+}
+
+
+def pair_workload(
+    kind: str, n: int | RootedTree, count: int, seed: int = 0, **params
+) -> list[tuple[int, int]]:
+    """Generate a named pair workload (``"uniform"`` or ``"zipf"``)."""
+    if kind not in WORKLOADS:
+        raise KeyError(f"unknown workload {kind!r}; known: {sorted(WORKLOADS)}")
+    return WORKLOADS[kind](n, count, seed=seed, **params)
 
 
 def all_pairs(tree: RootedTree) -> list[tuple[int, int]]:

@@ -1,0 +1,80 @@
+"""``repro.serve`` — serve packed distance labels over TCP.
+
+The paper's labels are the perfect network-serving unit: a query needs only
+two small labels, so a server holds nothing but a packed
+:class:`~repro.api.DistanceIndex` (or a multi-tree
+:class:`~repro.api.IndexCatalog`) and answers from bits.  This package adds
+the missing network surface on top of the ``LabelStore`` → ``parse_many`` →
+``QueryEngine`` pipeline:
+
+* :class:`LabelServer` (:mod:`repro.serve.server`) — an asyncio TCP server
+  whose **micro-batching coalescer** gathers every QUERY that arrives in
+  one event-loop tick, across all connections, into a single
+  ``QueryEngine.batch_query`` call per member and a single response write
+  per connection;
+* :class:`LabelClient` / :class:`AsyncLabelClient`
+  (:mod:`repro.serve.client`) — blocking and asyncio clients with
+  connection reuse and request pipelining, returning the same typed
+  :class:`~repro.api.QueryResult` values as in-process queries;
+* the wire protocol (:mod:`repro.serve.protocol`), summarised below.
+
+On the command line: ``repro-labels serve <store-or-catalog>`` and
+``repro-labels loadgen`` (see ``repro-labels serve --help``).
+
+Wire protocol (RSP/1)
+---------------------
+
+Every message — both directions — is one *frame*::
+
+    frame    :=  uvarint(len(body)) body
+    body     :=  opcode:u8 request_id:uvarint payload
+
+using the same LEB128 uvarints as the ``LabelStore``/``IndexCatalog`` file
+formats (:mod:`repro.encoding.varint`).  Clients choose ``request_id``
+freely and responses echo it: any number of requests may be in flight, and
+a coalescing server may answer them out of order.
+
+Request payloads (``name`` is a uvarint-length-prefixed UTF-8 member name;
+empty selects the sole index of a single-store server)::
+
+    QUERY  (0x01)  name u:uvarint v:uvarint
+    BATCH  (0x02)  name count:uvarint (u:uvarint v:uvarint){count}
+    MATRIX (0x03)  name count:uvarint explicit:u8 node:uvarint{count}
+                   -- explicit=0 means "all nodes" (count is then 0)
+    STATS  (0x04)  name        -- empty name = server-wide counters only
+    INFO   (0x05)              -- no payload
+
+Response payloads::
+
+    RESULT       (0x81)  kind:u8 [ratio:f64be] count:uvarint value{count}
+    STATS_RESULT (0x83)  len:uvarint json-utf8
+    INFO_RESULT  (0x84)  len:uvarint json-utf8
+    ERROR        (0xFF)  len:uvarint utf8-message
+
+``kind`` preserves the scheme family semantics end to end:
+
+* ``0`` exact — each value is ``uvarint(distance)``;
+* ``1`` bounded — each value is ``0x00`` (beyond the scheme's k) or
+  ``0x01 uvarint(distance)``;
+* ``2`` approximate — a big-endian IEEE-754 double per value, preceded by
+  one double holding the guaranteed ratio bound ``1 + eps``.
+
+MATRIX results flatten row-major; the client reshapes (it knows the node
+count).  ERROR responses are request-scoped — the connection stays usable —
+while unparseable bytes close the connection.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import AsyncLabelClient, LabelClient, ServerError
+from repro.serve.protocol import ProtocolError
+from repro.serve.server import LabelServer, serve
+
+__all__ = [
+    "LabelServer",
+    "serve",
+    "LabelClient",
+    "AsyncLabelClient",
+    "ServerError",
+    "ProtocolError",
+]

@@ -1,0 +1,395 @@
+"""Clients for the :mod:`repro.serve` wire protocol.
+
+Two flavours over one protocol:
+
+:class:`LabelClient`
+    blocking sockets, no event loop — scripts, REPLs and tests.  One
+    connection is reused across calls; :meth:`LabelClient.pipeline` keeps a
+    window of QUERY requests in flight so a single connection can saturate
+    the server's micro-batching coalescer.
+
+:class:`AsyncLabelClient`
+    asyncio streams with a background reader task; any number of requests
+    may be outstanding concurrently (responses are matched by request id,
+    so coalesced servers may answer out of order).
+
+Both return the same typed :class:`repro.api.QueryResult` values as the
+in-process :class:`DistanceIndex` — the wire carries the result *kind* and
+ratio bound, so exact, k-distance and approximate schemes round-trip with
+their semantics intact.  Pass ``raw=True`` for the native values.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+
+from repro.api.result import QueryResult
+from repro.serve import protocol
+
+
+class ServerError(RuntimeError):
+    """An :data:`repro.serve.protocol.OP_ERROR` response from the server."""
+
+
+_BEYOND = QueryResult(None, False, False, None)
+
+
+def wrap_values(kind: int, ratio_bound: float | None, values: list) -> list:
+    """Typed :class:`QueryResult` objects from one decoded value block."""
+    if kind == protocol.KIND_EXACT:
+        return [QueryResult(value, True, True, 1.0) for value in values]
+    if kind == protocol.KIND_BOUNDED:
+        return [
+            _BEYOND if value is None else QueryResult(value, True, True, 1.0)
+            for value in values
+        ]
+    return [QueryResult(value, False, True, ratio_bound) for value in values]
+
+
+def _unwrap(payload, raw: bool) -> list:
+    kind, ratio_bound, values = payload
+    return values if raw else wrap_values(kind, ratio_bound, values)
+
+
+def _reshape(flat: list, size: int) -> list[list]:
+    """Row-major matrix rows from a flat MATRIX value block."""
+    return [flat[row * size : (row + 1) * size] for row in range(size)]
+
+
+async def _settle(future) -> None:
+    """Wait for ``future`` without raising; outcomes are collected later."""
+    try:
+        await future
+    except Exception:
+        pass
+
+
+class LabelClient:
+    """Blocking client over one reused TCP connection."""
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = protocol.FrameDecoder()
+        self._ids = itertools.count(1)
+        self._unclaimed: dict[int, tuple] = {}
+
+    # -- context management --------------------------------------------------
+
+    def __enter__(self) -> "LabelClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _receive(self, request_id: int):
+        """The response for ``request_id`` (buffering any others seen first)."""
+        while True:
+            claimed = self._unclaimed.pop(request_id, None)
+            if claimed is not None:
+                op, payload = claimed
+                if op == protocol.OP_ERROR:
+                    raise ServerError(payload)
+                return op, payload
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._decoder.feed(chunk)
+            for body in self._decoder.frames():
+                op, seen_id, payload = protocol.decode_response(body)
+                self._unclaimed[seen_id] = (op, payload)
+
+    def _roundtrip(self, frame: bytes, request_id: int):
+        self._sock.sendall(frame)
+        return self._receive(request_id)
+
+    # -- requests ------------------------------------------------------------
+
+    def query(self, u: int, v: int, *, name: str = "", raw: bool = False):
+        """One distance query; a :class:`QueryResult` unless ``raw``."""
+        request_id = next(self._ids)
+        _, payload = self._roundtrip(protocol.encode_query(request_id, u, v, name), request_id)
+        return _unwrap(payload, raw)[0]
+
+    def batch(self, pairs, *, name: str = "", raw: bool = False) -> list:
+        """Answer many pairs with a single BATCH request."""
+        pairs = list(pairs)
+        request_id = next(self._ids)
+        _, payload = self._roundtrip(protocol.encode_batch(request_id, pairs, name), request_id)
+        return _unwrap(payload, raw)
+
+    def matrix(self, nodes=None, *, name: str = "", raw: bool = False) -> list[list]:
+        """All pairwise answers over ``nodes`` (default: every node)."""
+        if nodes is not None:
+            nodes = list(nodes)
+            size = len(nodes)
+        else:
+            size = self.info()["members"][name]["n"]
+        request_id = next(self._ids)
+        _, payload = self._roundtrip(protocol.encode_matrix(request_id, nodes, name), request_id)
+        return _reshape(_unwrap(payload, raw), size)
+
+    def stats(self, name: str = "") -> dict:
+        """Server statistics (plus one member's cache stats when named)."""
+        request_id = next(self._ids)
+        _, payload = self._roundtrip(protocol.encode_stats(request_id, name), request_id)
+        return payload
+
+    def info(self) -> dict:
+        """Member listing: ``{"members": {name: {spec, kind, n, open}}}``."""
+        request_id = next(self._ids)
+        _, payload = self._roundtrip(protocol.encode_info(request_id), request_id)
+        return payload
+
+    def pipeline(self, pairs, *, name: str = "", raw: bool = False, window: int = 256) -> list:
+        """Issue one QUERY per pair, keeping up to ``window`` in flight.
+
+        This is the traffic shape the server's coalescer is built for: many
+        independent single-pair requests on the wire at once.  Answers come
+        back in ``pairs`` order regardless of the server's completion order.
+        """
+        pairs = list(pairs)
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        ids = [next(self._ids) for _ in pairs]
+        results: dict[int, tuple] = {}
+        sent = 0
+        backlog = bytearray()
+        for index, (u, v) in enumerate(pairs):
+            backlog += protocol.encode_query(ids[index], u, v, name)
+            sent += 1
+            if sent - len(results) >= window or len(backlog) >= 65536:
+                self._sock.sendall(backlog)
+                backlog = bytearray()
+                while sent - len(results) >= window:
+                    self._drain_into(results)
+        if backlog:
+            self._sock.sendall(backlog)
+        while len(results) < len(pairs):
+            self._drain_into(results)
+        out = []
+        for request_id in ids:
+            op, payload = results[request_id]
+            if op == protocol.OP_ERROR:
+                raise ServerError(payload)
+            out.append(_unwrap(payload, raw)[0])
+        return out
+
+    def _drain_into(self, results: dict[int, tuple]) -> None:
+        chunk = self._sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        self._decoder.feed(chunk)
+        for body in self._decoder.frames():
+            op, request_id, payload = protocol.decode_response(body)
+            results[request_id] = (op, payload)
+
+
+class AsyncLabelClient:
+    """Asyncio client; responses are matched to requests by id."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = protocol.FrameDecoder()
+        self._ids = itertools.count(1)
+        self._waiting: dict[int, asyncio.Future] = {}
+        self._broken: Exception | None = None
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncLabelClient":
+        """Open a connection and start the response reader."""
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.get_extra_info("socket").setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        except (OSError, AttributeError):  # pragma: no cover - platform quirk
+            pass
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Cancel the reader task and close the connection."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+    async def __aenter__(self) -> "AsyncLabelClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                chunk = await self._reader.read(65536)
+                if not chunk:
+                    raise ConnectionError("server closed the connection")
+                self._decoder.feed(chunk)
+                for body in self._decoder.frames():
+                    op, request_id, payload = protocol.decode_response(body)
+                    future = self._waiting.pop(request_id, None)
+                    if future is not None and not future.done():
+                        if op == protocol.OP_ERROR:
+                            future.set_exception(ServerError(payload))
+                        else:
+                            future.set_result((op, payload))
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # propagate to every waiter, then stop
+            self._broken = error
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._waiting.clear()
+
+    def _check_open(self) -> None:
+        """Fail fast when the reader is gone: nothing would ever resolve a
+        future registered after that point."""
+        if self._reader_task.done():
+            raise self._broken or ConnectionError("client connection is closed")
+
+    def _send(self, frame_for_id) -> asyncio.Future:
+        """Register a fresh request id, send its frame, return the future."""
+        self._check_open()
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[request_id] = future
+        self._writer.write(frame_for_id(request_id))
+        return future
+
+    # -- requests ------------------------------------------------------------
+
+    async def query(self, u: int, v: int, *, name: str = "", raw: bool = False):
+        """One distance query; a :class:`QueryResult` unless ``raw``."""
+        _, payload = await self._send(
+            lambda request_id: protocol.encode_query(request_id, u, v, name)
+        )
+        return _unwrap(payload, raw)[0]
+
+    async def batch(self, pairs, *, name: str = "", raw: bool = False) -> list:
+        """Answer many pairs with a single BATCH request."""
+        pairs = list(pairs)
+        _, payload = await self._send(
+            lambda request_id: protocol.encode_batch(request_id, pairs, name)
+        )
+        return _unwrap(payload, raw)
+
+    async def matrix(self, nodes=None, *, name: str = "", raw: bool = False) -> list[list]:
+        """All pairwise answers over ``nodes`` (default: every node)."""
+        if nodes is not None:
+            nodes = list(nodes)
+            size = len(nodes)
+        else:
+            size = (await self.info())["members"][name]["n"]
+        _, payload = await self._send(
+            lambda request_id: protocol.encode_matrix(request_id, nodes, name)
+        )
+        return _reshape(_unwrap(payload, raw), size)
+
+    async def stats(self, name: str = "") -> dict:
+        """Server statistics (plus one member's cache stats when named)."""
+        _, payload = await self._send(
+            lambda request_id: protocol.encode_stats(request_id, name)
+        )
+        return payload
+
+    async def info(self) -> dict:
+        """Member listing: ``{"members": {name: {spec, kind, n, open}}}``."""
+        _, payload = await self._send(protocol.encode_info)
+        return payload
+
+    async def pipeline(
+        self, pairs, *, name: str = "", raw: bool = False, window: int = 256
+    ) -> list:
+        """Issue one QUERY per pair with up to ``window`` in flight.
+
+        This is the client half of the server's micro-batching story, so it
+        is deliberately allocation-light: one future per request (no task),
+        request frames concatenated into few ``write`` calls, and the window
+        enforced by awaiting the oldest outstanding response.  Answers come
+        back in ``pairs`` order regardless of the server's completion order.
+        """
+        pairs = list(pairs)
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self._check_open()
+        loop = asyncio.get_running_loop()
+        waiting = self._waiting
+        ids = self._ids
+        write = self._writer.write
+        # inline the QUERY frame construction: the opcode and name bytes are
+        # loop constants, so each frame is four uvarints and two joins
+        from repro.encoding.varint import encode_uvarint as uvarint
+
+        prefix = bytes([protocol.OP_QUERY])
+        encoded_name = uvarint(len(name.encode("utf-8"))) + name.encode("utf-8")
+        create_future = loop.create_future
+        futures: list[asyncio.Future] = []
+        backlog = bytearray()
+        head = 0  # oldest future not yet awaited
+        for index, (u, v) in enumerate(pairs):
+            request_id = next(ids)
+            future = create_future()
+            waiting[request_id] = future
+            futures.append(future)
+            body = (
+                prefix + uvarint(request_id) + encoded_name + uvarint(u) + uvarint(v)
+            )
+            backlog += uvarint(len(body))
+            backlog += body
+            if len(backlog) >= 32768:
+                write(bytes(backlog))
+                backlog.clear()
+            if index + 1 - head >= window:
+                if backlog:
+                    write(bytes(backlog))
+                    backlog.clear()
+                # drain half the window at once: awaiting one future at a
+                # time would degrade to one tiny write per query in steady
+                # state, defeating both ends' batching
+                release = head + max(1, window // 2)
+                while head < release:
+                    await _settle(futures[head])
+                    head += 1
+        if backlog:
+            write(bytes(backlog))
+        for future in futures[head:]:
+            await _settle(future)
+        out = []
+        failure = None
+        for future in futures:
+            # retrieve every outcome before raising, so no failed future is
+            # left with a never-retrieved exception
+            error = future.exception()
+            if error is not None:
+                failure = failure or error
+            elif failure is None:
+                _, payload = future.result()
+                out.append(_unwrap(payload, raw)[0])
+        if failure is not None:
+            raise failure
+        return out

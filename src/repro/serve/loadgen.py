@@ -1,0 +1,128 @@
+"""Load generator for a :mod:`repro.serve` endpoint.
+
+One entry point, :func:`run_load`, shared by the ``repro-labels loadgen``
+command and ``benchmarks/bench_serve_throughput.py``: generate a named pair
+workload (uniform or Zipf-skewed, :mod:`repro.generators.workloads`), drive
+the server from several pipelined connections, and report client-side
+throughput next to the server's own statistics (coalescer batch sizes,
+latency percentiles, parsed-label cache hit rate).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.generators.workloads import pair_workload
+from repro.serve.client import AsyncLabelClient
+
+
+async def _run_load_async(
+    host: str,
+    port: int,
+    *,
+    name: str,
+    pairs: int,
+    workload: str,
+    skew: float,
+    connections: int,
+    window: int,
+    mode: str,
+    seed: int,
+) -> dict:
+    if connections < 1:
+        raise ValueError("connections must be at least 1")
+    if mode not in ("pipeline", "batch"):
+        raise ValueError(f"unknown loadgen mode {mode!r}")
+    clients = [await AsyncLabelClient.connect(host, port) for _ in range(connections)]
+    try:
+        info = await clients[0].info()
+        members = info["members"]
+        if name not in members:
+            raise ValueError(
+                f"no member named {name!r} on the server; members: {sorted(members)}"
+            )
+        n = members[name]["n"]
+        params = {"skew": skew} if workload == "zipf" else {}
+        work = pair_workload(workload, n, pairs, seed, **params)
+        shards = [work[index::connections] for index in range(connections)]
+
+        started = time.perf_counter()
+        if mode == "pipeline":
+            shard_results = await asyncio.gather(
+                *(
+                    client.pipeline(shard, name=name, raw=True, window=window)
+                    for client, shard in zip(clients, shards)
+                )
+            )
+        else:
+            # BATCH mode: window-sized OP_BATCH requests, all in flight at once
+            async def run_shard(client, shard):
+                chunks = [shard[pos : pos + window] for pos in range(0, len(shard), window)]
+                answered = await asyncio.gather(
+                    *(client.batch(chunk, name=name, raw=True) for chunk in chunks)
+                )
+                return [value for chunk in answered for value in chunk]
+
+            shard_results = await asyncio.gather(
+                *(run_shard(client, shard) for client, shard in zip(clients, shards))
+            )
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        stats = await clients[0].stats(name)
+    finally:
+        for client in clients:
+            await client.close()
+
+    answered = sum(len(shard) for shard in shard_results)
+    checksum = sum(value for shard in shard_results for value in shard if value is not None)
+    return {
+        "host": host,
+        "port": port,
+        "member": name,
+        "workload": workload,
+        "skew": skew if workload == "zipf" else None,
+        "mode": mode,
+        "connections": connections,
+        "window": window,
+        "pairs": answered,
+        "seconds": round(elapsed, 4),
+        "qps": round(answered / elapsed, 1),
+        "checksum": round(checksum, 4),
+        "server": stats,
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    name: str = "",
+    pairs: int = 10000,
+    workload: str = "uniform",
+    skew: float = 1.0,
+    connections: int = 4,
+    window: int = 128,
+    mode: str = "pipeline",
+    seed: int = 0,
+) -> dict:
+    """Drive a serve endpoint and return a metrics dict.
+
+    ``mode="pipeline"`` issues one QUERY per pair with up to ``window`` in
+    flight per connection (the shape that exercises the server's
+    micro-batching coalescer); ``mode="batch"`` groups pairs into
+    window-sized BATCH requests instead.
+    """
+    return asyncio.run(
+        _run_load_async(
+            host,
+            port,
+            name=name,
+            pairs=pairs,
+            workload=workload,
+            skew=skew,
+            connections=connections,
+            window=window,
+            mode=mode,
+            seed=seed,
+        )
+    )

@@ -1,0 +1,365 @@
+"""The RSP/1 wire protocol: varint-framed label-distance messages.
+
+See the package docstring of :mod:`repro.serve` for the full frame and
+message grammar.  This module is the single source of truth for opcodes and
+the byte-level encoders/decoders shared by :mod:`repro.serve.server` and
+:mod:`repro.serve.client`; everything is built on the same LEB128 varints
+(:mod:`repro.encoding.varint`) that frame the ``LabelStore`` and
+``IndexCatalog`` file formats.
+
+Requests and responses are plain tuples/dataclass-free values so both ends
+stay allocation-light on the hot path: the server decodes a request body
+into ``(op, request_id, name, payload)`` and the client decodes a response
+body into ``(op, request_id, payload)``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+
+#: protocol revision carried nowhere on the wire (frames are self-framing);
+#: bumped only when the message grammar changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame's body, server- and client-side (a matrix
+#: response over a few thousand nodes fits comfortably; anything larger is
+#: a protocol error, not a workload)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# -- opcodes -----------------------------------------------------------------
+
+OP_QUERY = 0x01  #: one (u, v) distance query
+OP_BATCH = 0x02  #: many (u, v) queries answered as one unit
+OP_MATRIX = 0x03  #: all-pairs answers over a node subset
+OP_STATS = 0x04  #: serving statistics (qps, latency percentiles, cache)
+OP_INFO = 0x05  #: member listing: name -> {spec, kind, n}
+
+OP_RESULT = 0x81  #: answers to QUERY / BATCH / MATRIX
+OP_STATS_RESULT = 0x83  #: JSON statistics blob
+OP_INFO_RESULT = 0x84  #: JSON member listing
+OP_ERROR = 0xFF  #: request-scoped failure (connection stays usable)
+
+REQUEST_OPS = frozenset({OP_QUERY, OP_BATCH, OP_MATRIX, OP_STATS, OP_INFO})
+RESPONSE_OPS = frozenset({OP_RESULT, OP_STATS_RESULT, OP_INFO_RESULT, OP_ERROR})
+
+# -- result kinds ------------------------------------------------------------
+
+KIND_EXACT = 0  #: values are exact distances (uvarint)
+KIND_BOUNDED = 1  #: values are distance-or-beyond (flag byte + uvarint)
+KIND_APPROXIMATE = 2  #: values are (1+eps)-approximations (IEEE double)
+
+KIND_CODES = {"exact": KIND_EXACT, "bounded": KIND_BOUNDED, "approximate": KIND_APPROXIMATE}
+KIND_NAMES = {code: name for name, code in KIND_CODES.items()}
+
+_DOUBLE = struct.Struct(">d")
+
+
+class ProtocolError(ValueError):
+    """Raised when a frame or message is malformed.
+
+    A ``ProtocolError`` is a *connection-level* failure (unparseable bytes);
+    application failures (unknown member, node out of range) travel as
+    :data:`OP_ERROR` responses instead and leave the connection usable.
+    """
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(body: bytes) -> bytes:
+    """One wire frame: ``uvarint(len(body)) + body``."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame body of {len(body)} bytes exceeds the limit")
+    return encode_uvarint(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame splitter for a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; iterate complete frame bodies
+    with :meth:`frames`.  Partial frames stay buffered between feeds, so the
+    decoder works equally under ``data_received`` callbacks and blocking
+    ``recv`` loops.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append a received chunk."""
+        self._buffer += data
+
+    def frames(self) -> list[bytes]:
+        """Every complete frame body currently buffered, oldest first."""
+        buffer = self._buffer
+        out: list[bytes] = []
+        pos = 0
+        total = len(buffer)
+        while pos < total:
+            # a frame's length prefix may itself be split across chunks
+            try:
+                length, body_start = decode_uvarint(buffer, pos)
+            except ValueError:
+                if total - pos >= 10:  # a uvarint never needs 10 bytes: corrupt
+                    raise ProtocolError("corrupt frame length prefix") from None
+                break
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"frame of {length} bytes exceeds the limit")
+            if body_start + length > total:
+                break
+            out.append(bytes(buffer[body_start : body_start + length]))
+            pos = body_start + length
+        if pos:
+            del buffer[:pos]
+        return out
+
+
+# -- request encoding --------------------------------------------------------
+
+
+def _encode_name(name: str) -> bytes:
+    encoded = name.encode("utf-8")
+    return encode_uvarint(len(encoded)) + encoded
+
+
+def encode_query(request_id: int, u: int, v: int, name: str = "") -> bytes:
+    """A framed :data:`OP_QUERY` request."""
+    body = bytes([OP_QUERY]) + encode_uvarint(request_id) + _encode_name(name)
+    return encode_frame(body + encode_uvarint(u) + encode_uvarint(v))
+
+
+def encode_batch(request_id: int, pairs, name: str = "") -> bytes:
+    """A framed :data:`OP_BATCH` request."""
+    parts = [bytes([OP_BATCH]), encode_uvarint(request_id), _encode_name(name)]
+    pairs = list(pairs)
+    parts.append(encode_uvarint(len(pairs)))
+    for u, v in pairs:
+        parts.append(encode_uvarint(u))
+        parts.append(encode_uvarint(v))
+    return encode_frame(b"".join(parts))
+
+
+def encode_matrix(request_id: int, nodes=None, name: str = "") -> bytes:
+    """A framed :data:`OP_MATRIX` request (``nodes=None`` means every node)."""
+    parts = [bytes([OP_MATRIX]), encode_uvarint(request_id), _encode_name(name)]
+    if nodes is None:
+        parts.append(encode_uvarint(0))
+        parts.append(bytes([0]))
+    else:
+        nodes = list(nodes)
+        parts.append(encode_uvarint(len(nodes)))
+        parts.append(bytes([1]))
+        for node in nodes:
+            parts.append(encode_uvarint(node))
+    return encode_frame(b"".join(parts))
+
+
+def encode_stats(request_id: int, name: str = "") -> bytes:
+    """A framed :data:`OP_STATS` request (empty name = server-wide)."""
+    return encode_frame(bytes([OP_STATS]) + encode_uvarint(request_id) + _encode_name(name))
+
+
+def encode_info(request_id: int) -> bytes:
+    """A framed :data:`OP_INFO` request."""
+    return encode_frame(bytes([OP_INFO]) + encode_uvarint(request_id))
+
+
+def decode_request(body: bytes):
+    """Decode one request body into ``(op, request_id, name, payload)``.
+
+    ``payload`` is op-specific: ``(u, v)`` for QUERY, a pair list for BATCH,
+    a node list or ``None`` for MATRIX, and ``None`` for STATS / INFO.
+    """
+    if not body:
+        raise ProtocolError("empty frame body")
+    op = body[0]
+    if op not in REQUEST_OPS:
+        raise ProtocolError(f"unknown request opcode 0x{op:02x}")
+    try:
+        request_id, pos = decode_uvarint(body, 1)
+        if op == OP_INFO:
+            return op, request_id, "", None
+        name_len, pos = decode_uvarint(body, pos)
+        if pos + name_len > len(body):
+            raise ValueError("truncated member name")
+        name = body[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        if op == OP_STATS:
+            return op, request_id, name, None
+        if op == OP_QUERY:
+            u, pos = decode_uvarint(body, pos)
+            v, pos = decode_uvarint(body, pos)
+            return op, request_id, name, (u, v)
+        count, pos = decode_uvarint(body, pos)
+        if op == OP_BATCH:
+            pairs = []
+            for _ in range(count):
+                u, pos = decode_uvarint(body, pos)
+                v, pos = decode_uvarint(body, pos)
+                pairs.append((u, v))
+            return op, request_id, name, pairs
+        # OP_MATRIX: explicit-nodes flag distinguishes "all nodes" from []
+        if pos >= len(body):
+            raise ValueError("truncated matrix request")
+        explicit = body[pos]
+        pos += 1
+        if not explicit:
+            return op, request_id, name, None
+        nodes = []
+        for _ in range(count):
+            node, pos = decode_uvarint(body, pos)
+            nodes.append(node)
+        return op, request_id, name, nodes
+    except ValueError as error:
+        raise ProtocolError(f"malformed request: {error}") from error
+
+
+# -- response encoding -------------------------------------------------------
+
+
+def encode_values(kind: int, values, ratio_bound: float | None = None) -> bytes:
+    """The kind-tagged value block shared by every :data:`OP_RESULT`.
+
+    ``values`` is a flat sequence of raw scheme answers; matrix responses
+    flatten row-major and the client re-shapes (it knows the node count).
+    """
+    values = list(values)
+    parts = [bytes([kind]), encode_uvarint(len(values))]
+    if kind == KIND_EXACT:
+        for value in values:
+            parts.append(encode_uvarint(value))
+    elif kind == KIND_BOUNDED:
+        for value in values:
+            if value is None:
+                parts.append(b"\x00")
+            else:
+                parts.append(b"\x01" + encode_uvarint(value))
+    elif kind == KIND_APPROXIMATE:
+        if ratio_bound is None:
+            raise ProtocolError("approximate results require a ratio bound")
+        parts.insert(1, _DOUBLE.pack(ratio_bound))
+        for value in values:
+            parts.append(_DOUBLE.pack(value))
+    else:
+        raise ProtocolError(f"unknown result kind {kind}")
+    return b"".join(parts)
+
+
+def encode_result(request_id: int, kind: int, values, ratio_bound: float | None = None) -> bytes:
+    """A framed :data:`OP_RESULT` response."""
+    body = bytes([OP_RESULT]) + encode_uvarint(request_id)
+    return encode_frame(body + encode_values(kind, values, ratio_bound))
+
+
+def encode_result_block(answered, kind: int, ratio_bound: float | None = None) -> bytes:
+    """Many single-value :data:`OP_RESULT` frames as one byte string.
+
+    ``answered`` is an iterable of ``(request_id, value)``.  This is the
+    server coalescer's response path: one call builds every response frame
+    destined for one connection, so the per-query cost is a few string
+    concatenations instead of a function call per response.
+    """
+    uvarint = encode_uvarint
+    op = bytes([OP_RESULT])
+    out = bytearray()
+    if kind == KIND_EXACT:
+        tag = bytes([kind]) + b"\x01"  # kind + count=1
+        for request_id, value in answered:
+            body = op + uvarint(request_id) + tag + uvarint(value)
+            out += uvarint(len(body))
+            out += body
+    elif kind == KIND_BOUNDED:
+        tag = bytes([kind]) + b"\x01"
+        for request_id, value in answered:
+            if value is None:
+                body = op + uvarint(request_id) + tag + b"\x00"
+            else:
+                body = op + uvarint(request_id) + tag + b"\x01" + uvarint(value)
+            out += uvarint(len(body))
+            out += body
+    elif kind == KIND_APPROXIMATE:
+        if ratio_bound is None:
+            raise ProtocolError("approximate results require a ratio bound")
+        tag = bytes([kind]) + _DOUBLE.pack(ratio_bound) + b"\x01"
+        for request_id, value in answered:
+            body = op + uvarint(request_id) + tag + _DOUBLE.pack(value)
+            out += uvarint(len(body))
+            out += body
+    else:
+        raise ProtocolError(f"unknown result kind {kind}")
+    return bytes(out)
+
+
+def encode_error(request_id: int, message: str) -> bytes:
+    """A framed :data:`OP_ERROR` response."""
+    encoded = message.encode("utf-8")
+    body = (
+        bytes([OP_ERROR])
+        + encode_uvarint(request_id)
+        + encode_uvarint(len(encoded))
+        + encoded
+    )
+    return encode_frame(body)
+
+
+def encode_json_response(op: int, request_id: int, payload: dict) -> bytes:
+    """A framed :data:`OP_STATS_RESULT` / :data:`OP_INFO_RESULT` response."""
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    body = bytes([op]) + encode_uvarint(request_id) + encode_uvarint(len(blob)) + blob
+    return encode_frame(body)
+
+
+def decode_response(body: bytes):
+    """Decode one response body into ``(op, request_id, payload)``.
+
+    ``payload`` is ``(kind, ratio_bound, values)`` for RESULT, a ``dict``
+    for STATS_RESULT / INFO_RESULT and an error-message string for ERROR.
+    """
+    if not body:
+        raise ProtocolError("empty frame body")
+    op = body[0]
+    if op not in RESPONSE_OPS:
+        raise ProtocolError(f"unknown response opcode 0x{op:02x}")
+    try:
+        request_id, pos = decode_uvarint(body, 1)
+        if op == OP_ERROR:
+            length, pos = decode_uvarint(body, pos)
+            return op, request_id, body[pos : pos + length].decode("utf-8")
+        if op in (OP_STATS_RESULT, OP_INFO_RESULT):
+            length, pos = decode_uvarint(body, pos)
+            return op, request_id, json.loads(body[pos : pos + length].decode("utf-8"))
+        kind = body[pos]
+        pos += 1
+        ratio_bound = None
+        if kind == KIND_APPROXIMATE:
+            ratio_bound = _DOUBLE.unpack_from(body, pos)[0]
+            pos += 8
+        count, pos = decode_uvarint(body, pos)
+        values: list = []
+        if kind == KIND_EXACT:
+            for _ in range(count):
+                value, pos = decode_uvarint(body, pos)
+                values.append(value)
+        elif kind == KIND_BOUNDED:
+            for _ in range(count):
+                flag = body[pos]
+                pos += 1
+                if flag:
+                    value, pos = decode_uvarint(body, pos)
+                    values.append(value)
+                else:
+                    values.append(None)
+        elif kind == KIND_APPROXIMATE:
+            for _ in range(count):
+                values.append(_DOUBLE.unpack_from(body, pos)[0])
+                pos += 8
+        else:
+            raise ValueError(f"unknown result kind {kind}")
+        return op, request_id, (kind, ratio_bound, values)
+    except (ValueError, IndexError, struct.error) as error:
+        raise ProtocolError(f"malformed response: {error}") from error

@@ -1,0 +1,425 @@
+"""Asyncio TCP server fronting a :class:`DistanceIndex` or :class:`IndexCatalog`.
+
+The server's defining feature is the **micro-batching coalescer**: QUERY
+requests are not answered one at a time.  Each one is appended to a
+per-member pending list and the flush is scheduled with ``loop.call_soon``,
+which runs *after* every ``data_received`` callback of the current event-loop
+tick — so all queries that arrived in this tick, across every connection,
+are answered by **one** :meth:`QueryEngine.batch_query` call per member.
+That call parses each distinct endpoint once (warming the engine's parsed-
+label LRU for every future tick) and the responses are written back with one
+``transport.write`` per connection instead of one per request.  Under a
+pipelined client the serving cost per query drops to an append, a shared
+batch slot and a shared write.
+
+``coalesce=False`` keeps the identical code path but flushes after every
+request (a batch of one) — the naive serving baseline that
+``benchmarks/bench_serve_throughput.py`` measures the coalescer against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+
+from repro.api.catalog import CatalogError, IndexCatalog
+from repro.api.index import DistanceIndex
+from repro.serve import protocol
+from repro.store.label_store import StoreError
+
+#: latency samples kept for the percentile estimates in STATS responses
+_LATENCY_WINDOW = 4096
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class _Member:
+    """One servable index plus the constants its responses need."""
+
+    __slots__ = ("name", "index", "kind_code", "ratio_bound", "pending")
+
+    def __init__(self, name: str, index: DistanceIndex) -> None:
+        self.name = name
+        self.index = index
+        self.kind_code = protocol.KIND_CODES[index.kind]
+        self.ratio_bound = (
+            1.0 + index.scheme.epsilon
+            if index.kind == "approximate"
+            else (1.0 if index.kind == "exact" else None)
+        )
+        #: coalescer queue: (connection, request_id, u, v, enqueued_at)
+        self.pending: list[tuple] = []
+
+
+class LabelServer:
+    """Serve distance queries from packed labels over TCP.
+
+    ``target`` is a :class:`DistanceIndex` (served under the empty member
+    name) or an :class:`IndexCatalog` (members addressed by name; closed
+    members open lazily on first query, exactly as in-process).
+    """
+
+    def __init__(
+        self,
+        target: DistanceIndex | IndexCatalog,
+        *,
+        coalesce: bool = True,
+        max_batch: int = 8192,
+        max_matrix: int = 1024,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_matrix < 1:
+            raise ValueError("max_matrix must be at least 1")
+        self._catalog: IndexCatalog | None = None
+        self._members: dict[str, _Member] = {}
+        if isinstance(target, IndexCatalog):
+            self._catalog = target
+        elif isinstance(target, DistanceIndex):
+            self._members[""] = _Member("", target)
+        else:
+            raise TypeError(
+                f"target must be a DistanceIndex or IndexCatalog, got {type(target).__name__}"
+            )
+        self.coalesce = coalesce
+        self.max_batch = max_batch
+        #: MATRIX requests are answered on the event loop, so their size is
+        #: capped: an n-node matrix costs n^2/2 queries and would stall every
+        #: other connection for its duration
+        self.max_matrix = max_matrix
+        self._server: asyncio.AbstractServer | None = None
+        self._flush_scheduled = False
+        self._dirty: list[_Member] = []
+
+        # -- serving statistics ------------------------------------------
+        self.started_at = time.monotonic()
+        self.queries = 0  #: individual QUERY answers sent
+        self.batch_requests = 0  #: OP_BATCH requests served
+        self.batch_request_pairs = 0
+        self.matrix_requests = 0
+        self.flushes = 0  #: coalescer batch_query calls
+        self.coalesced = 0  #: QUERY answers produced by those calls
+        self.errors = 0
+        self.connections_total = 0
+        self.connections_open = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    # -- member resolution ---------------------------------------------------
+
+    def member(self, name: str) -> _Member:
+        """The member serving ``name`` (lazily opened for catalogs)."""
+        member = self._members.get(name)
+        if member is None:
+            if self._catalog is None:
+                raise CatalogError(
+                    f"this server fronts a single index; use the empty member "
+                    f"name, not {name!r}"
+                )
+            member = _Member(name, self._catalog.index(name))
+            self._members[name] = member
+        return member
+
+    def info(self) -> dict:
+        """The INFO payload: one row per member name."""
+        members: dict[str, dict] = {}
+        if self._catalog is not None:
+            for row in self._catalog.describe():
+                members[row["name"]] = {
+                    "spec": row["spec"],
+                    "kind": row["kind"],
+                    "n": row["n"],
+                    "open": row["open"],
+                }
+        else:
+            members[""] = dict(self._members[""].index.describe(), open=True)
+        return {"protocol": protocol.PROTOCOL_VERSION, "members": members}
+
+    def stats(self, name: str = "") -> dict:
+        """The STATS payload; ``name`` adds one member's index statistics.
+
+        ``latency_ms`` covers QUERY requests only (enqueue to flush, the
+        number a per-query client observes); BATCH/MATRIX requests are
+        counted but would skew the per-query percentiles and stay out.
+        """
+        elapsed = max(time.monotonic() - self.started_at, 1e-9)
+        samples = list(self._latencies)
+        answered = self.queries + self.batch_request_pairs
+        payload = {
+            "uptime_seconds": round(elapsed, 3),
+            "queries": self.queries,
+            "batch_requests": self.batch_requests,
+            "batch_request_pairs": self.batch_request_pairs,
+            "matrix_requests": self.matrix_requests,
+            "flushes": self.flushes,
+            "coalesced_queries": self.coalesced,
+            "mean_batch_size": round(self.coalesced / self.flushes, 2) if self.flushes else 0.0,
+            "errors": self.errors,
+            "connections_open": self.connections_open,
+            "connections_total": self.connections_total,
+            "qps": round(answered / elapsed, 1),
+            "latency_ms": {
+                "p50": round(_percentile(samples, 0.50) * 1000, 4),
+                "p99": round(_percentile(samples, 0.99) * 1000, 4),
+                "samples": len(samples),
+            },
+            "coalescing": self.coalesce,
+        }
+        if name or self._catalog is None:
+            # a read-only stats probe must not force a lazy catalog member
+            # open; closed members report ``open: false`` and nothing else
+            member = self._members.get(name)
+            if member is None:
+                if self._catalog is None or name not in self._catalog:
+                    raise CatalogError(
+                        f"no index named {name!r} on this server"
+                    )
+                payload["index"] = {"name": name, "open": False}
+            else:
+                cache = member.index.engine.cache_info()
+                payload["index"] = dict(
+                    member.index.describe(),
+                    name=name,
+                    open=True,
+                    cache=cache,
+                    cache_hit_rate=cache["hit_rate"],
+                )
+        return payload
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual ``(host, port)``."""
+        loop = asyncio.get_running_loop()
+        self._server = await loop.create_server(
+            lambda: _Connection(self), host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or task cancellation)."""
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- the micro-batching coalescer ----------------------------------------
+
+    def enqueue_query(self, member: _Member, connection, request_id: int, u: int, v: int) -> None:
+        """Queue one QUERY for the next flush (or flush now when naive)."""
+        pending = member.pending
+        if not pending:
+            self._dirty.append(member)
+        pending.append((connection, request_id, u, v, time.monotonic()))
+        if not self.coalesce or len(pending) >= self.max_batch:
+            self._flush()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            # call_soon runs after every data_received callback already queued
+            # in this event-loop tick: that is the coalescing window
+            asyncio.get_running_loop().call_soon(self._flush)
+
+    def _flush(self) -> None:
+        """Answer every pending query with one batch call per member."""
+        self._flush_scheduled = False
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, []
+        now = time.monotonic
+        record = self._latencies.append
+        for member in dirty:
+            pending = member.pending
+            if not pending:
+                continue
+            member.pending = []
+            pairs = [(item[2], item[3]) for item in pending]
+            try:
+                answers = member.index.batch(pairs, raw=True)
+            except (StoreError, ValueError):
+                # one bad pair must not poison the whole coalesced batch:
+                # fall back to answering each query alone so only the
+                # offending requests receive OP_ERROR
+                self._flush_individually(member, pending)
+                continue
+            self.flushes += 1
+            self.coalesced += len(pending)
+            self.queries += len(pending)
+            finished = now()
+            # group per connection, then build each connection's response
+            # frames in one encode_result_block call and one write
+            answered: dict[object, list] = {}
+            for (connection, request_id, _, _, enqueued), answer in zip(pending, answers):
+                record(finished - enqueued)
+                bucket = answered.get(connection)
+                if bucket is None:
+                    bucket = answered[connection] = []
+                bucket.append((request_id, answer))
+            kind = member.kind_code
+            ratio = member.ratio_bound
+            for connection, items in answered.items():
+                connection.send(protocol.encode_result_block(items, kind, ratio))
+
+    def _flush_individually(self, member: _Member, pending: list) -> None:
+        """Answer each pending query alone (the poisoned-batch slow path)."""
+        kind = member.kind_code
+        ratio = member.ratio_bound
+        query = member.index.query
+        record = self._latencies.append
+        for connection, request_id, u, v, enqueued in pending:
+            try:
+                answer = query(u, v, raw=True)
+            except (StoreError, ValueError) as error:
+                self.errors += 1
+                connection.send(protocol.encode_error(request_id, str(error)))
+            else:
+                self.flushes += 1
+                self.coalesced += 1
+                self.queries += 1
+                record(time.monotonic() - enqueued)
+                connection.send(
+                    protocol.encode_result(request_id, kind, (answer,), ratio)
+                )
+
+    # -- non-coalesced request handling --------------------------------------
+
+    def handle_request(self, connection, body: bytes) -> None:
+        """Dispatch one decoded frame from ``connection``."""
+        op, request_id, name, payload = protocol.decode_request(body)
+        try:
+            if op == protocol.OP_QUERY:
+                member = self.member(name)
+                u, v = payload
+                self.enqueue_query(member, connection, request_id, u, v)
+                return
+            if op == protocol.OP_BATCH:
+                member = self.member(name)
+                answers = member.index.batch(payload, raw=True)
+                self.batch_requests += 1
+                self.batch_request_pairs += len(payload)
+                connection.send(
+                    protocol.encode_result(
+                        request_id, member.kind_code, answers, member.ratio_bound
+                    )
+                )
+                return
+            if op == protocol.OP_MATRIX:
+                member = self.member(name)
+                size = member.index.n if payload is None else len(payload)
+                if size > self.max_matrix:
+                    raise ValueError(
+                        f"matrix over {size} nodes exceeds the server's limit "
+                        f"of {self.max_matrix}; request fewer nodes per message"
+                    )
+                rows = member.index.matrix(payload, raw=True)
+                self.matrix_requests += 1
+                flat = [value for row in rows for value in row]
+                connection.send(
+                    protocol.encode_result(
+                        request_id, member.kind_code, flat, member.ratio_bound
+                    )
+                )
+                return
+            if op == protocol.OP_STATS:
+                connection.send(
+                    protocol.encode_json_response(
+                        protocol.OP_STATS_RESULT, request_id, self.stats(name)
+                    )
+                )
+                return
+            assert op == protocol.OP_INFO
+            connection.send(
+                protocol.encode_json_response(
+                    protocol.OP_INFO_RESULT, request_id, self.info()
+                )
+            )
+        except (CatalogError, StoreError, KeyError, ValueError) as error:
+            self.errors += 1
+            message = error.args[0] if error.args else str(error)
+            connection.send(protocol.encode_error(request_id, str(message)))
+
+
+class _Connection(asyncio.Protocol):
+    """One client connection: frame splitting and response writing."""
+
+    __slots__ = ("_server", "_decoder", "_transport", "closed")
+
+    def __init__(self, server: LabelServer) -> None:
+        self._server = server
+        self._decoder = protocol.FrameDecoder()
+        self._transport: asyncio.Transport | None = None
+        self.closed = False
+
+    # -- asyncio.Protocol hooks ----------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+        self._server.connections_total += 1
+        self._server.connections_open += 1
+
+    def connection_lost(self, exc) -> None:
+        self.closed = True
+        self._server.connections_open -= 1
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            self._decoder.feed(data)
+            for body in self._decoder.frames():
+                self._server.handle_request(self, body)
+        except protocol.ProtocolError:
+            # unparseable bytes: the stream cannot be resynchronised
+            self.abort()
+
+    # -- used by the server --------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Write a response unless the peer already went away."""
+        if not self.closed and self._transport is not None:
+            self._transport.write(data)
+
+    def abort(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+        self.closed = True
+
+
+async def serve(
+    target: DistanceIndex | IndexCatalog,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    coalesce: bool = True,
+    max_batch: int = 8192,
+    ready: "asyncio.Event | None" = None,
+    bound: "list | None" = None,
+) -> LabelServer:
+    """Start a :class:`LabelServer` and run it until cancelled.
+
+    ``bound`` (a list) receives the actual ``(host, port)`` and ``ready`` is
+    set once the socket is listening — the hooks the in-process tests and
+    the thread-hosted test harness use to rendezvous with the server.
+    """
+    server = LabelServer(target, coalesce=coalesce, max_batch=max_batch)
+    address = await server.start(host, port)
+    if bound is not None:
+        bound.append(address)
+    if ready is not None:
+        ready.set()
+    await server.serve_forever()
+    return server

@@ -195,10 +195,18 @@ class QueryEngine:
     # -- cache management ----------------------------------------------------
 
     def cache_info(self) -> dict:
-        """Hit/miss counters and current occupancy of the parsed-label cache."""
+        """Hit/miss counters and current occupancy of the parsed-label cache.
+
+        ``hit_rate`` is the lifetime fraction of lookups served from the
+        cache (0.0 before any lookup) — the steady-state serving signal the
+        network server reports per member and the warm-cache benchmark
+        records.
+        """
+        lookups = self.cache_hits + self.cache_misses
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "hit_rate": round(self.cache_hits / lookups, 4) if lookups else 0.0,
             "size": len(self._cache),
             "max_size": self._cache_size,
         }

@@ -22,7 +22,17 @@ from repro.generators.structured import (
     spider_tree,
     star_tree,
 )
-from repro.generators.workloads import FAMILIES, all_pairs, make_tree, near_pairs, random_pairs
+from repro.generators.workloads import (
+    FAMILIES,
+    WORKLOADS,
+    all_pairs,
+    make_tree,
+    near_pairs,
+    pair_workload,
+    random_pairs,
+    uniform_pairs,
+    zipf_pairs,
+)
 from repro.oracles.distance_matrix import DistanceMatrix
 from repro.oracles.exact_oracle import TreeDistanceOracle
 from repro.trees.tree import RootedTree
@@ -183,3 +193,51 @@ class TestWorkloads:
         close_avg = sum(oracle.distance(u, v) for u, v in close) / 100
         uniform_avg = sum(oracle.distance(u, v) for u, v in uniform) / 100
         assert close_avg < uniform_avg
+
+    def test_uniform_pairs_accepts_count_or_tree(self):
+        tree = make_tree("random", 40, seed=0)
+        assert uniform_pairs(tree, 30, seed=1) == uniform_pairs(40, 30, seed=1)
+        assert all(0 <= u < 40 and 0 <= v < 40 for u, v in uniform_pairs(40, 30))
+
+    def test_zipf_pairs_are_skewed_and_deterministic(self):
+        n, count = 500, 4000
+        pairs = zipf_pairs(n, count, skew=1.2, seed=3)
+        assert len(pairs) == count
+        assert all(0 <= u < n and 0 <= v < n for u, v in pairs)
+        assert pairs == zipf_pairs(n, count, skew=1.2, seed=3)  # deterministic
+        assert pairs != zipf_pairs(n, count, skew=1.2, seed=4)
+        # heavy concentration: the hottest decile of endpoints must cover far
+        # more traffic than under the uniform workload
+        counts: dict[int, int] = {}
+        for u, v in pairs:
+            counts[u] = counts.get(u, 0) + 1
+            counts[v] = counts.get(v, 0) + 1
+        top = sum(sorted(counts.values(), reverse=True)[: n // 10])
+        assert top / (2 * count) > 0.5
+        uniform = uniform_pairs(n, count, seed=3)
+        ucounts: dict[int, int] = {}
+        for u, v in uniform:
+            ucounts[u] = ucounts.get(u, 0) + 1
+            ucounts[v] = ucounts.get(v, 0) + 1
+        utop = sum(sorted(ucounts.values(), reverse=True)[: n // 10])
+        assert top > 2 * utop
+
+    def test_zipf_pairs_zero_skew_is_uniform_shaped(self):
+        pairs = zipf_pairs(200, 500, skew=0.0, seed=7)
+        endpoints = {node for pair in pairs for node in pair}
+        assert len(endpoints) > 150  # no concentration without skew
+
+    def test_zipf_pairs_validation(self):
+        with pytest.raises(ValueError):
+            zipf_pairs(0, 10)
+        with pytest.raises(ValueError):
+            zipf_pairs(10, 10, skew=-1.0)
+
+    def test_pair_workload_registry(self):
+        assert sorted(WORKLOADS) == ["uniform", "zipf"]
+        assert pair_workload("uniform", 50, 20, seed=5) == uniform_pairs(50, 20, seed=5)
+        assert pair_workload("zipf", 50, 20, seed=5, skew=1.5) == zipf_pairs(
+            50, 20, skew=1.5, seed=5
+        )
+        with pytest.raises(KeyError):
+            pair_workload("nope", 10, 5)

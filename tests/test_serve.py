@@ -1,0 +1,434 @@
+"""Tests for :mod:`repro.serve`: protocol, server, clients, concurrency.
+
+The server tests run a real :class:`LabelServer` on an ephemeral port —
+inside ``asyncio.run`` for the async client, and on a background thread's
+event loop for the blocking client — and check that every scheme family
+round-trips over the wire with its typed-result semantics intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import DistanceIndex, IndexCatalog, QueryResult
+from repro.generators.workloads import make_tree, random_pairs, zipf_pairs
+from repro.serve import (
+    AsyncLabelClient,
+    LabelClient,
+    LabelServer,
+    ProtocolError,
+    ServerError,
+)
+from repro.serve import protocol
+
+
+# -- shared fixtures ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return make_tree("random", 150, seed=7)
+
+
+@pytest.fixture(scope="module")
+def catalog_bytes(tree):
+    catalog = IndexCatalog()
+    catalog.add("exact", DistanceIndex.build(tree, "freedman"))
+    catalog.add("bounded", DistanceIndex.build(tree, "k-distance:k=4"))
+    catalog.add("approx", DistanceIndex.build(tree, "approximate:epsilon=0.25"))
+    return catalog.to_bytes()
+
+
+@pytest.fixture()
+def catalog(catalog_bytes):
+    # a fresh lazily-opened catalog per test (members closed until queried)
+    return IndexCatalog.from_bytes(catalog_bytes)
+
+
+# -- protocol unit tests ------------------------------------------------------
+
+
+def test_request_frames_round_trip():
+    cases = [
+        (protocol.encode_query(7, 3, 42, "m"), (protocol.OP_QUERY, 7, "m", (3, 42))),
+        (
+            protocol.encode_batch(9, [(1, 2), (3, 4)], ""),
+            (protocol.OP_BATCH, 9, "", [(1, 2), (3, 4)]),
+        ),
+        (
+            protocol.encode_matrix(11, [5, 6], "x"),
+            (protocol.OP_MATRIX, 11, "x", [5, 6]),
+        ),
+        (protocol.encode_matrix(12, None, "x"), (protocol.OP_MATRIX, 12, "x", None)),
+        (protocol.encode_matrix(13, [], "x"), (protocol.OP_MATRIX, 13, "x", [])),
+        (protocol.encode_stats(14, "y"), (protocol.OP_STATS, 14, "y", None)),
+        (protocol.encode_info(15), (protocol.OP_INFO, 15, "", None)),
+    ]
+    decoder = protocol.FrameDecoder()
+    for frame, _ in cases:
+        decoder.feed(frame)
+    bodies = decoder.frames()
+    assert len(bodies) == len(cases)
+    for body, (_, expected) in zip(bodies, cases):
+        assert protocol.decode_request(body) == expected
+
+
+@pytest.mark.parametrize(
+    ("kind", "ratio", "values"),
+    [
+        (protocol.KIND_EXACT, None, [0, 1, 2, 10**9]),
+        (protocol.KIND_BOUNDED, None, [None, 0, 4, None]),
+        (protocol.KIND_APPROXIMATE, 1.25, [0.0, 17.09, 3.5]),
+    ],
+)
+def test_result_values_round_trip(kind, ratio, values):
+    frame = protocol.encode_result(21, kind, values, ratio)
+    decoder = protocol.FrameDecoder()
+    decoder.feed(frame)
+    (body,) = decoder.frames()
+    op, request_id, (seen_kind, seen_ratio, seen_values) = protocol.decode_response(body)
+    assert (op, request_id, seen_kind) == (protocol.OP_RESULT, 21, kind)
+    assert seen_ratio == ratio
+    assert seen_values == values
+
+
+def test_error_and_json_responses_round_trip():
+    decoder = protocol.FrameDecoder()
+    decoder.feed(protocol.encode_error(5, "boom"))
+    decoder.feed(
+        protocol.encode_json_response(protocol.OP_STATS_RESULT, 6, {"qps": 1.5})
+    )
+    bodies = decoder.frames()
+    assert protocol.decode_response(bodies[0]) == (protocol.OP_ERROR, 5, "boom")
+    assert protocol.decode_response(bodies[1]) == (
+        protocol.OP_STATS_RESULT,
+        6,
+        {"qps": 1.5},
+    )
+
+
+def test_frame_decoder_handles_arbitrary_chunking():
+    frames = b"".join(
+        protocol.encode_query(request_id, request_id, request_id + 1, "abc")
+        for request_id in range(40)
+    )
+    for chunk_size in (1, 2, 3, 7, 64):
+        decoder = protocol.FrameDecoder()
+        seen = []
+        for pos in range(0, len(frames), chunk_size):
+            decoder.feed(frames[pos : pos + chunk_size])
+            seen.extend(decoder.frames())
+        assert len(seen) == 40
+        assert protocol.decode_request(seen[17])[1] == 17
+
+
+def test_protocol_rejects_malformed_input():
+    with pytest.raises(ProtocolError):
+        protocol.decode_request(b"")
+    with pytest.raises(ProtocolError):
+        protocol.decode_request(bytes([0x7E, 1]))  # unknown opcode
+    with pytest.raises(ProtocolError):
+        protocol.decode_response(bytes([protocol.OP_RESULT]))  # truncated
+    decoder = protocol.FrameDecoder()
+    decoder.feed(b"\xff" * 10)  # unterminated varint length prefix
+    with pytest.raises(ProtocolError):
+        decoder.frames()
+
+
+# -- async server round-trips -------------------------------------------------
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _with_server(target, handler, **server_kwargs):
+    server = LabelServer(target, **server_kwargs)
+    host, port = await server.start()
+    try:
+        client = await AsyncLabelClient.connect(host, port)
+        try:
+            return await handler(server, client, host, port)
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+
+
+def test_all_scheme_kinds_round_trip_typed(catalog, tree):
+    pairs = random_pairs(tree, 60, seed=3)
+    local = {name: catalog.index(name) for name in catalog.names()}
+
+    async def handler(server, client, host, port):
+        for name, index in local.items():
+            expected = index.batch(pairs)
+            over_wire = await client.batch(pairs, name=name)
+            assert over_wire == expected, name
+            for result in over_wire:
+                assert isinstance(result, QueryResult)
+            u, v = pairs[0]
+            assert await client.query(u, v, name=name) == index.query(u, v)
+            raw = await client.batch(pairs[:5], name=name, raw=True)
+            assert raw == index.batch(pairs[:5], raw=True)
+
+    _run(_with_server(catalog, handler))
+
+
+def test_matrix_and_info_and_stats(catalog, tree):
+    async def handler(server, client, host, port):
+        info = await client.info()
+        assert sorted(info["members"]) == ["approx", "bounded", "exact"]
+        assert info["members"]["exact"]["n"] == tree.n
+        assert info["members"]["exact"]["kind"] == "exact"
+
+        nodes = [0, 5, 9, 17]
+        expected = catalog.index("exact").matrix(nodes, raw=True)
+        assert await client.matrix(nodes, name="exact", raw=True) == expected
+
+        stats = await client.stats("exact")
+        assert stats["matrix_requests"] == 1
+        assert stats["index"]["spec"] == "freedman"
+        assert 0.0 <= stats["index"]["cache_hit_rate"] <= 1.0
+
+    _run(_with_server(catalog, handler))
+
+
+def test_single_index_server_uses_empty_name(tree):
+    index = DistanceIndex.build(tree, "freedman")
+
+    async def handler(server, client, host, port):
+        info = await client.info()
+        assert list(info["members"]) == [""]
+        assert await client.query(3, 42) == index.query(3, 42)
+        with pytest.raises(ServerError):
+            await client.query(3, 42, name="other")
+
+    _run(_with_server(index, handler))
+
+
+def test_server_error_responses_keep_connection_usable(catalog, tree):
+    async def handler(server, client, host, port):
+        with pytest.raises(ServerError):
+            await client.query(0, tree.n + 5, name="exact")  # node out of range
+        with pytest.raises(ServerError):
+            await client.query(0, 1, name="missing")  # unknown member
+        # the connection survived both failures
+        assert await client.query(0, 1, name="exact") == catalog.query("exact", 0, 1)
+        assert (await client.stats())["errors"] == 2
+
+    _run(_with_server(catalog, handler))
+
+
+def test_pipeline_preserves_order_and_coalesces(catalog, tree):
+    pairs = zipf_pairs(tree, 300, skew=1.1, seed=5)
+    expected = catalog.index("exact").batch(pairs, raw=True)
+
+    async def handler(server, client, host, port):
+        answers = await client.pipeline(pairs, name="exact", raw=True, window=64)
+        assert answers == expected
+        stats = await client.stats()
+        assert stats["queries"] == len(pairs)
+        # micro-batching must have grouped many queries per flush
+        assert stats["flushes"] < len(pairs)
+        assert stats["mean_batch_size"] > 1.0
+
+    _run(_with_server(catalog, handler))
+
+
+def test_naive_mode_answers_one_request_per_batch(catalog, tree):
+    pairs = random_pairs(tree, 50, seed=9)
+    expected = catalog.index("exact").batch(pairs, raw=True)
+
+    async def handler(server, client, host, port):
+        answers = await client.pipeline(pairs, name="exact", raw=True, window=16)
+        assert answers == expected
+        stats = await client.stats()
+        assert stats["flushes"] == len(pairs)  # every query flushed alone
+        assert stats["mean_batch_size"] == 1.0
+        assert stats["coalescing"] is False
+
+    _run(_with_server(catalog, handler, coalesce=False))
+
+
+def test_bad_query_does_not_poison_coalesced_batch(catalog, tree):
+    """A valid and an out-of-range query coalesced into the same flush:
+    only the offender gets OP_ERROR, the valid query is still answered."""
+
+    async def handler(server, client, host, port):
+        good = client._send(
+            lambda rid: protocol.encode_query(rid, 0, 1, "exact")
+        )
+        bad = client._send(
+            lambda rid: protocol.encode_query(rid, 0, tree.n + 7, "exact")
+        )
+        _, payload = await good
+        kind, ratio, values = payload
+        assert values == [catalog.query("exact", 0, 1, raw=True)]
+        with pytest.raises(ServerError):
+            await bad
+        stats = await client.stats()
+        assert stats["errors"] == 1
+        assert stats["queries"] == 1
+
+    _run(_with_server(catalog, handler))
+
+
+def test_async_client_fails_fast_after_connection_loss(catalog, tree):
+    async def handler(server, client, host, port):
+        assert await client.query(0, 1, name="exact")  # connection works
+        client._writer.close()  # simulate the peer going away
+        await asyncio.sleep(0.05)  # let the reader task observe EOF
+        with pytest.raises(ConnectionError):
+            await client.query(0, 2, name="exact")
+        with pytest.raises(ConnectionError):
+            await client.pipeline([(0, 1)], name="exact")
+
+    _run(_with_server(catalog, handler))
+
+
+def test_matrix_size_cap(catalog, tree):
+    async def handler(server, client, host, port):
+        small = await client.matrix([0, 1, 2], name="exact", raw=True)
+        assert small == catalog.index("exact").matrix([0, 1, 2], raw=True)
+        with pytest.raises(ServerError):  # explicit node list over the cap
+            await client.matrix(list(range(5)), name="exact")
+        with pytest.raises(ServerError):  # all-nodes matrix over the cap
+            await client.matrix(name="exact")
+
+    _run(_with_server(catalog, handler, max_matrix=4))
+
+
+def test_stats_does_not_open_closed_members(catalog, tree):
+    fresh = IndexCatalog.from_bytes(catalog.to_bytes())
+
+    async def handler(server, client, host, port):
+        stats = await client.stats("exact")
+        assert stats["index"] == {"name": "exact", "open": False}
+        assert not fresh.is_open("exact")  # the probe kept the member closed
+        with pytest.raises(ServerError):
+            await client.stats("missing")
+        await client.query(0, 1, name="exact")
+        stats = await client.stats("exact")
+        assert stats["index"]["open"] is True
+        assert stats["index"]["spec"] == "freedman"
+
+    _run(_with_server(fresh, handler))
+
+
+def test_max_batch_bounds_coalescer(catalog, tree):
+    pairs = random_pairs(tree, 64, seed=13)
+
+    async def handler(server, client, host, port):
+        answers = await client.pipeline(pairs, name="exact", raw=True, window=64)
+        assert answers == catalog.index("exact").batch(pairs, raw=True)
+        stats = await client.stats()
+        assert stats["flushes"] >= len(pairs) // 8
+
+    _run(_with_server(catalog, handler, max_batch=8))
+
+
+# -- concurrency: many tasks, lazy members, one shared engine -----------------
+
+
+def test_concurrent_tasks_share_lazy_members_and_cache(catalog, tree):
+    """The satellite concurrency check: several asyncio tasks hammer the
+    server at once; catalog members open lazily under that concurrency and
+    every member's parsed-label LRU serves all tasks."""
+    task_count = 6
+    per_task = 120
+    names = ["exact", "bounded", "approx"]
+    workloads = {
+        index: zipf_pairs(tree, per_task, skew=1.0, seed=100 + index)
+        for index in range(task_count)
+    }
+    expected = {
+        index: catalog.index(names[index % 3]).batch(workloads[index], raw=True)
+        for index in range(task_count)
+    }
+    # a fresh catalog so the server opens members lazily itself
+    fresh = IndexCatalog.from_bytes(catalog.to_bytes())
+    assert not any(fresh.is_open(name) for name in fresh.names())
+
+    async def handler(server, client, host, port):
+        clients = [client] + [
+            await AsyncLabelClient.connect(host, port) for _ in range(2)
+        ]
+        try:
+            async def one(index: int):
+                target = clients[index % len(clients)]
+                return await target.pipeline(
+                    workloads[index], name=names[index % 3], raw=True, window=32
+                )
+
+            answers = await asyncio.gather(*(one(index) for index in range(task_count)))
+            for index, got in enumerate(answers):
+                assert got == expected[index], f"task {index} answers diverged"
+            # every member was opened on demand by server-side traffic
+            assert all(fresh.is_open(name) for name in names)
+            for name in names:
+                cache = fresh.index(name).engine.cache_info()
+                assert cache["hits"] > 0, name
+                assert 0.0 < cache["hit_rate"] <= 1.0
+            stats = await client.stats()
+            assert stats["queries"] == task_count * per_task
+            assert stats["mean_batch_size"] > 1.0  # cross-task coalescing
+            assert stats["connections_open"] == 3
+        finally:
+            for extra in clients[1:]:
+                await extra.close()
+
+    _run(_with_server(fresh, handler))
+
+
+# -- blocking client against a thread-hosted server ---------------------------
+
+
+@pytest.fixture()
+def threaded_server(catalog):
+    """A live server on a daemon thread; yields ``(host, port)``."""
+    bound: list[tuple[str, int]] = []
+    ready = threading.Event()
+    holder: dict = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = LabelServer(catalog)
+            bound.append(await server.start())
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            ready.set()
+            serving = asyncio.ensure_future(server.serve_forever())
+            await holder["stop"].wait()
+            serving.cancel()
+            await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server thread failed to start"
+    yield bound[0]
+    holder["loop"].call_soon_threadsafe(holder["stop"].set)
+    thread.join(10)
+
+
+def test_sync_client_round_trip(threaded_server, catalog, tree):
+    host, port = threaded_server
+    pairs = random_pairs(tree, 80, seed=17)
+    with LabelClient(host, port) as client:
+        assert sorted(client.info()["members"]) == ["approx", "bounded", "exact"]
+        assert client.batch(pairs, name="exact") == catalog.index("exact").batch(pairs)
+        assert client.query(1, 2, name="bounded") == catalog.query("bounded", 1, 2)
+        piped = client.pipeline(pairs, name="exact", raw=True, window=24)
+        assert piped == catalog.index("exact").batch(pairs, raw=True)
+        nodes = [2, 3, 5]
+        assert client.matrix(nodes, name="approx", raw=True) == catalog.index(
+            "approx"
+        ).matrix(nodes, raw=True)
+        stats = client.stats("exact")
+        assert stats["queries"] >= len(pairs)
+        with pytest.raises(ServerError):
+            client.query(0, 1, name="missing")

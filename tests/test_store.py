@@ -197,6 +197,7 @@ class TestQueryEngine:
         assert engine.cache_info() == {
             "hits": 0,
             "misses": 0,
+            "hit_rate": 0.0,
             "size": 0,
             "max_size": 4,
         }
