@@ -1,4 +1,5 @@
-"""Experiment S-throughput: network serving with and without micro-batching.
+"""Experiment S-throughput: network serving — micro-batching, shard-per-core
+fleets and the hot-pair response cache.
 
 The server's coalescer turns every event-loop tick's worth of pipelined
 QUERY requests — across all connections — into one ``QueryEngine.batch``
@@ -6,13 +7,19 @@ call and one response write per connection.  This runner measures what that
 is worth end to end: a real ``repro-labels serve`` subprocess on loopback,
 driven by the shared load generator (:mod:`repro.serve.loadgen`) under
 uniform and Zipf-skewed workloads, against the same server started with
-``--no-coalesce`` (the naive one-request-per-batch path).
+``--no-coalesce`` (the naive one-request-per-batch path).  Two further
+sections cover the scale-out features: ``multi_worker`` runs the same
+workload against ``--workers 1/2/4`` fleets (SO_REUSEPORT shard-per-core
+supervisor) and ``response_cache`` measures ``--pair-cache`` on the
+Zipf-skewed workload.
 
 ``python benchmarks/bench_serve_throughput.py`` writes
-``BENCH_serve_throughput.json`` at the repo root; the recorded gate is
-coalesced >= 2x naive on the 10k-pair uniform workload.  The pytest entry
-points below only smoke the plumbing (tiny sizes, no timing assertions) so
-CI machine noise cannot flake them.
+``BENCH_serve_throughput.json`` at the repo root; the recorded gates are
+coalesced >= 2x naive on the 10k-pair uniform workload, and ``--workers 4``
+>= 1.8x the single process (asserted on hosts with >= 4 CPUs — a fleet
+cannot out-run its core count, and the CPU count is recorded next to the
+measurement).  The pytest entry points below only smoke the plumbing (tiny
+sizes, no timing assertions) so CI machine noise cannot flake them.
 """
 
 from __future__ import annotations
@@ -33,11 +40,20 @@ from repro.serve.loadgen import run_load
 _READY = re.compile(r"serving .* on ([0-9.]+):(\d+) \[")
 
 
-def spawn_server(store_path: str, *, coalesce: bool, port: int = 0):
+def spawn_server(
+    store_path: str,
+    *,
+    coalesce: bool,
+    port: int = 0,
+    workers: int = 1,
+    pair_cache: int = 0,
+):
     """Start ``repro-labels serve`` on loopback; returns ``(process, host, port)``.
 
     The server picks an ephemeral port (``--port 0``) and we parse the
-    actual address from its ready line.
+    actual address from its ready line.  ``workers > 1`` starts the
+    shard-per-core fleet supervisor; ``pair_cache`` enables the hot-pair
+    response cache.
     """
     command = [
         sys.executable,
@@ -49,7 +65,11 @@ def spawn_server(store_path: str, *, coalesce: bool, port: int = 0):
         "127.0.0.1",
         "--port",
         str(port),
+        "--workers",
+        str(workers),
     ]
+    if pair_cache:
+        command.extend(["--pair-cache", str(pair_cache)])
     if not coalesce:
         command.append("--no-coalesce")
     environment = dict(os.environ)
@@ -85,7 +105,8 @@ def shutdown_server(process) -> str:
 
 def _measure(store_path: str, *, coalesce: bool, workload: str, pairs: int,
              connections: int, window: int, skew: float = 1.1, seed: int = 0,
-             warmup: int = 0, repeats: int = 1) -> dict:
+             warmup: int = 0, repeats: int = 1, workers: int = 1,
+             pair_cache: int = 0) -> dict:
     """Drive one server mode; optional warmup pass and best-of-``repeats``.
 
     The warmup pass parses every touched label into the engine's LRU before
@@ -93,7 +114,9 @@ def _measure(store_path: str, *, coalesce: bool, workload: str, pairs: int,
     server actually serves from (cold-start cost is the store's concern and
     is gated separately in ``BENCH_query_time.json``).
     """
-    process, host, port = spawn_server(store_path, coalesce=coalesce)
+    process, host, port = spawn_server(
+        store_path, coalesce=coalesce, workers=workers, pair_cache=pair_cache
+    )
     try:
         if warmup:
             run_load(
@@ -117,15 +140,21 @@ def _measure(store_path: str, *, coalesce: bool, workload: str, pairs: int,
     finally:
         shutdown = shutdown_server(process)
     server = report["server"]
+    index_stats = server.get("index", {})
+    pair_cache = index_stats.get("pair_cache", {})
     return {
         "qps": report["qps"],
         "seconds": report["seconds"],
         "checksum": report["checksum"],
+        "workers": report["workers"],
+        "busy_retried": report["busy_retried"],
+        "busy_rejections": server.get("busy_rejections", 0),
         "p50_ms": server["latency_ms"]["p50"],
         "p99_ms": server["latency_ms"]["p99"],
         "mean_batch_size": server["mean_batch_size"],
         "flushes": server["flushes"],
-        "cache_hit_rate": server["index"]["cache_hit_rate"] if "index" in server else None,
+        "cache_hit_rate": index_stats.get("cache_hit_rate"),
+        "pair_cache_hit_rate": pair_cache.get("hit_rate") if pair_cache.get("enabled") else None,
         "shutdown": shutdown,
     }
 
@@ -172,15 +201,66 @@ def test_zipf_workload_over_the_wire(tmp_path):
     assert row["cache_hit_rate"] > 0.5  # the hot set stays cached
 
 
+def test_multi_worker_fleet_round_trip(tmp_path):
+    """A ``--workers 2`` fleet answers the same workload with the same
+    checksum as a single process and shuts down cleanly on SIGTERM."""
+    tree = make_tree("random", 200, seed=23)
+    index = DistanceIndex.build(tree, "freedman")
+    store_path = str(tmp_path / "bench_fleet.bin")
+    index.save(store_path)
+    rows = {}
+    for workers in (1, 2):
+        rows[workers] = _measure(
+            store_path,
+            coalesce=True,
+            workload="uniform",
+            pairs=400,
+            connections=4,
+            window=32,
+            workers=workers,
+        )
+        assert rows[workers]["shutdown"].startswith("shutdown:")
+    assert rows[1]["checksum"] == rows[2]["checksum"]
+    assert rows[2]["workers"] >= 1  # distinct workers reached by loadgen
+
+
+def test_response_cache_round_trip(tmp_path):
+    """``--pair-cache`` answers a Zipf workload identically and reports a
+    non-trivial hot-pair hit rate."""
+    tree = make_tree("random", 200, seed=29)
+    DistanceIndex.build(tree, "freedman").save(str(tmp_path / "c.bin"))
+    rows = {}
+    for label, pair_cache in (("off", 0), ("on", 2048)):
+        rows[label] = _measure(
+            str(tmp_path / "c.bin"),
+            coalesce=True,
+            workload="zipf",
+            pairs=500,
+            connections=2,
+            window=32,
+            skew=1.2,
+            pair_cache=pair_cache,
+        )
+    assert rows["off"]["checksum"] == rows["on"]["checksum"]
+    assert rows["on"]["pair_cache_hit_rate"] > 0.1
+    assert rows["off"]["pair_cache_hit_rate"] is None
+
+
 # -- machine-readable runner (BENCH_serve_throughput.json) --------------------
 
 
 def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
-    """Measure coalesced vs naive serving and write the JSON trajectory.
+    """Measure coalesced-vs-naive serving, multi-worker scaling and the
+    hot-pair response cache; write the JSON trajectory.
 
-    The gate (recorded, and asserted when this file runs as a script):
-    micro-batched serving >= 2x the naive one-request-per-batch path on the
-    10k-pair uniform workload.
+    Two gates (recorded, and asserted when this file runs as a script):
+
+    * micro-batched serving >= 2x the naive one-request-per-batch path on
+      the 10k-pair uniform workload (as since PR 4);
+    * ``--workers 4`` aggregate throughput >= 1.8x the single-process path
+      on the same workload.  Shard-per-core scaling needs cores to shard
+      over, so this gate is asserted only when the host has >= 4 CPUs; the
+      measured ratio and the CPU count are recorded either way.
     """
     n = 512 if smoke else 4096
     pairs = 2000 if smoke else 10000
@@ -189,10 +269,16 @@ def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
     warmup = 500 if smoke else 4000
     repeats = 2 if smoke else 3
     required_speedup = 2.0
+    required_scaling = 1.8
+    cpus = os.cpu_count() or 1
+    worker_counts = (1, 2) if smoke else (1, 2, 4)
+    scaling_pairs = pairs * 2  # longer steady state amortises fleet startup
 
     tree = make_tree("random", n, seed=23)
     index = DistanceIndex.build(tree, "freedman")
     workloads_json: dict[str, dict] = {}
+    scaling_json: dict = {"cpus": cpus, "workers": {}}
+    cache_json: dict = {}
     with tempfile.TemporaryDirectory() as scratch:
         store_path = os.path.join(scratch, "serve_bench.bin")
         index.save(store_path)
@@ -214,7 +300,76 @@ def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
             rows["speedup"] = round(rows["coalesced"]["qps"] / rows["naive"]["qps"], 2)
             workloads_json[workload] = rows
 
+        # -- multi-worker scaling: same workload, growing fleets ----------
+        scaling_checksums = set()
+        for workers in worker_counts:
+            row = _measure(
+                store_path,
+                coalesce=True,
+                workload="uniform",
+                pairs=scaling_pairs,
+                connections=max(connections, 2 * workers),
+                window=window,
+                warmup=warmup,
+                repeats=repeats,
+                workers=workers,
+            )
+            scaling_checksums.add(row["checksum"])
+            scaling_json["workers"][str(workers)] = row
+        if len(scaling_checksums) != 1:
+            raise AssertionError("worker fleets disagree on query answers")
+        base_qps = scaling_json["workers"]["1"]["qps"]
+        for row in scaling_json["workers"].values():
+            row["speedup_vs_1"] = round(row["qps"] / base_qps, 2)
+
+        # -- hot-pair response cache on a hot Zipf workload ---------------
+        # skew 1.3: the repeated-hot-pair traffic shape the cache exists
+        # for (the flatter skew-1.1 distribution barely repeats pairs)
+        cache_json["skew"] = 1.3
+        for label, pair_cache in (("uncached", 0), ("pair_cache", 4096)):
+            cache_json[label] = _measure(
+                store_path,
+                coalesce=True,
+                workload="zipf",
+                pairs=pairs,
+                connections=connections,
+                window=window,
+                skew=cache_json["skew"],
+                warmup=warmup,
+                repeats=repeats,
+                pair_cache=pair_cache,
+            )
+        if cache_json["uncached"]["checksum"] != cache_json["pair_cache"]["checksum"]:
+            raise AssertionError("response cache changed query answers")
+        cache_json["speedup"] = round(
+            cache_json["pair_cache"]["qps"] / cache_json["uncached"]["qps"], 2
+        )
+
     speedup = workloads_json["uniform"]["speedup"]
+    top_workers = str(worker_counts[-1])
+    scaling_speedup = scaling_json["workers"][top_workers]["speedup_vs_1"]
+    scaling_gate = {
+        "description": (
+            f"repro-labels serve --workers {top_workers} (shard-per-core "
+            "fleet, SO_REUSEPORT) vs --workers 1, same uniform workload, "
+            "pipelined loadgen on loopback"
+        ),
+        "workload": "uniform",
+        "cpus": cpus,
+        "workers": int(top_workers),
+        "fleet_qps": scaling_json["workers"][top_workers]["qps"],
+        "single_qps": base_qps,
+        "speedup": scaling_speedup,
+        "required_speedup": required_scaling,
+        "enforced": cpus >= 4 and not smoke,
+        "pass": scaling_speedup >= required_scaling,
+    }
+    if not scaling_gate["enforced"]:
+        scaling_gate["note"] = (
+            f"host has {cpus} CPU(s); shard-per-core scaling cannot exceed "
+            "1x without cores to shard over, so the 1.8x gate is recorded "
+            "but only enforced on hosts with >= 4 CPUs"
+        )
     payload = {
         "benchmark": "serve_throughput",
         "mode": "smoke" if smoke else "full",
@@ -224,6 +379,8 @@ def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
         "connections": connections,
         "window": window,
         "workloads": workloads_json,
+        "multi_worker": dict(scaling_json, gate=scaling_gate),
+        "response_cache": cache_json,
         "gate": {
             "description": (
                 "repro-labels serve (micro-batched coalescer) vs the same "
@@ -244,6 +401,20 @@ def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
         f"gate: {speedup}x (required {required_speedup}x, "
         f"pass={payload['gate']['pass']})"
     )
+    print(
+        f"scaling: {scaling_speedup}x with {top_workers} workers on {cpus} "
+        f"CPU(s) (required {required_scaling}x, "
+        f"enforced={scaling_gate['enforced']}, pass={scaling_gate['pass']})"
+    )
+    print(
+        f"response cache (zipf): {cache_json['speedup']}x, hit rate "
+        f"{cache_json['pair_cache']['pair_cache_hit_rate']}"
+    )
+    if scaling_gate["enforced"] and not scaling_gate["pass"]:
+        raise AssertionError(
+            f"multi-worker scaling {scaling_speedup}x below the "
+            f"{required_scaling}x gate"
+        )
     return payload
 
 

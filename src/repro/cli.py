@@ -23,12 +23,16 @@ The serving workflow puts an index (or a whole catalog) behind a TCP
 endpoint and drives it with synthetic traffic::
 
     repro-labels serve labels.bin --port 7117
-    repro-labels serve forest.cat --port 7117
+    repro-labels serve forest.cat --port 7117 --workers 4 --pair-cache 8192
     repro-labels loadgen --port 7117 --pairs 20000 --workload zipf --skew 1.1
 
 ``serve`` answers the :mod:`repro.serve` wire protocol with micro-batched
-query coalescing (``--no-coalesce`` for the naive baseline); ``loadgen``
-reports client-side throughput and the server's own statistics.
+query coalescing (``--no-coalesce`` for the naive baseline); ``--workers N``
+pre-forks a shard-per-core fleet sharing the port, ``--max-pending`` bounds
+the per-worker queue (overload is shed with BUSY and clients retry), and
+``--pair-cache`` answers repeated hot pairs straight from a response cache.
+``loadgen`` reports client-side throughput and the fleet-merged server
+statistics (latency percentiles from merged per-worker reservoirs).
 
 The experiment commands mirror the index of DESIGN.md so every table and
 figure of the paper can be regenerated from the shell::
@@ -167,8 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7117)
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 pre-forks a shard-per-core fleet sharing "
+        "the port (SO_REUSEPORT where available)",
+    )
+    serve.add_argument(
         "--cache-size", type=int, default=4096,
         help="parsed-label LRU size (store targets; catalogs use the default)",
+    )
+    serve.add_argument(
+        "--pair-cache", type=int, default=0,
+        help="hot-pair response cache entries per member (0 disables); "
+        "repeated {u,v} pairs are answered without touching the labels",
     )
     serve.add_argument(
         "--no-coalesce", action="store_true",
@@ -177,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-batch", type=int, default=8192,
         help="flush the coalescer early beyond this many pending queries",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=65536,
+        help="bound on queued queries per worker; beyond it requests are "
+        "shed with BUSY and clients retry with jittered backoff",
     )
 
     loadgen = commands.add_parser(
@@ -369,29 +388,28 @@ def _catalog(args) -> str:
     return _run_queries(index, header, args)
 
 
-def _open_serve_target(path: str, cache_size: int):
-    """``(target, description)`` from a store or catalog file, by magic."""
-    from repro.api import CATALOG_MAGIC, DistanceIndex, IndexCatalog
+def _shutdown_summary(stats: dict) -> str:
+    """The ``shutdown:`` line shared by single-process and fleet serving."""
+    busy = stats.get("busy_rejections", 0)
+    return (
+        f"shutdown: {stats.get('queries', 0)} queries + "
+        f"{stats.get('batch_request_pairs', 0)} batched pairs answered over "
+        f"{stats.get('connections_total', 0)} connection(s); "
+        f"{stats.get('flushes', 0)} coalescer flushes "
+        f"(mean batch {stats.get('mean_batch_size', 0.0)}), "
+        f"{stats.get('errors', 0)} errors, {busy} busy-shed"
+    )
 
-    with open(path, "rb") as handle:
-        magic = handle.read(4)
-    if magic == CATALOG_MAGIC:
-        catalog = IndexCatalog.load(path)
-        return catalog, f"catalog {path} ({len(catalog)} member(s))"
-    index = DistanceIndex.open(path, cache_size=cache_size)
-    return index, f"index {path} (scheme={index.spec}, n={index.n})"
 
-
-def _serve(args) -> str:
+def _serve_single(args, server_config: dict) -> str:
     import asyncio
     import signal
 
     from repro.serve import LabelServer
+    from repro.serve.supervisor import open_serve_target
 
-    target, description = _open_serve_target(args.target, args.cache_size)
-    server = LabelServer(
-        target, coalesce=not args.no_coalesce, max_batch=args.max_batch
-    )
+    target, description = open_serve_target(args.target, args.cache_size)
+    server = LabelServer(target, **server_config)
 
     async def run() -> None:
         host, port = await server.start(args.host, args.port)
@@ -418,14 +436,87 @@ def _serve(args) -> str:
         asyncio.run(run())
     except KeyboardInterrupt:  # platforms without add_signal_handler
         pass
-    stats = server.stats()
-    return (
-        f"shutdown: {stats['queries']} queries + "
-        f"{stats['batch_request_pairs']} batched pairs answered over "
-        f"{stats['connections_total']} connection(s); "
-        f"{stats['flushes']} coalescer flushes "
-        f"(mean batch {stats['mean_batch_size']}), {stats['errors']} errors"
+    return _shutdown_summary(server.stats())
+
+
+def _serve_fleet(args, server_config: dict) -> str:
+    import signal
+    import threading
+
+    from repro.api import CATALOG_MAGIC
+    from repro.serve.supervisor import FleetSupervisor
+
+    # description only: sniff the file magic — each worker opens the file
+    # itself, so the supervisor never loads the labels into its own memory
+    with open(args.target, "rb") as handle:
+        magic = handle.read(4)
+    kind = "catalog" if magic == CATALOG_MAGIC else "index"
+    description = f"{kind} {args.target}"
+    supervisor = FleetSupervisor(
+        args.target,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        **server_config,
     )
+    host, port = supervisor.start()
+    mode = "micro-batched" if server_config["coalesce"] else "naive (no coalescing)"
+    binding = "SO_REUSEPORT" if supervisor.reuse_port else "inherited socket"
+    print(
+        f"serving {description} on {host}:{port} "
+        f"[{mode}, {args.workers} workers via {binding}, "
+        f"pids={','.join(str(pid) for pid in supervisor.pids)}]",
+        flush=True,
+    )
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except (ValueError, OSError):  # pragma: no cover - exotic platform
+            pass
+    try:
+        supervisor.wait(stop_check=stop.is_set)
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    degraded = not supervisor.poll() and not stop.is_set()
+    fleet = supervisor.shutdown()
+    if degraded:
+        raise RuntimeError(
+            f"a worker died unexpectedly (exit codes {fleet.get('exit_codes')}); "
+            "fleet torn down"
+        )
+    latency = fleet.get("latency_ms", {})
+    lines = [_shutdown_summary(fleet)]
+    lines.append(
+        f"fleet: {fleet.get('workers', 0)} workers, "
+        f"{fleet.get('qps', 0.0):,.0f} q/s lifetime, "
+        f"p50 {latency.get('p50', 0.0):.3f}ms p99 {latency.get('p99', 0.0):.3f}ms "
+        f"(reservoir {latency.get('samples', 0)} samples), "
+        f"exit codes {fleet.get('exit_codes')}"
+    )
+    for row in fleet.get("per_worker", ()):
+        lines.append(
+            f"  worker {row['worker']}: {row['queries']} queries, "
+            f"{row['qps']:,.0f} q/s, p99 {row['p99_ms']:.3f}ms, "
+            f"{row['busy_rejections']} busy-shed"
+        )
+    return "\n".join(lines)
+
+
+def _serve(args) -> str:
+    if args.workers < 1:
+        raise ValueError("--workers must be at least 1")
+    server_config = {
+        "coalesce": not args.no_coalesce,
+        "max_batch": args.max_batch,
+        "max_pending": args.max_pending,
+        "pair_cache": args.pair_cache,
+    }
+    if args.workers == 1:
+        return _serve_single(args, server_config)
+    return _serve_fleet(args, server_config)
 
 
 def _loadgen(args) -> str:
@@ -445,23 +536,38 @@ def _loadgen(args) -> str:
     )
     server = report["server"]
     latency = server["latency_ms"]
+    busy = (
+        f", {report['busy_retried']} busy-retried" if report["busy_retried"] else ""
+    )
     lines = [
         f"loadgen {report['workload']}"
         + (f"(skew={report['skew']:g})" if report["skew"] is not None else "")
         + f" x{report['pairs']} pairs, mode={report['mode']}, "
         f"{report['connections']} connection(s), window {report['window']}",
         f"client: {report['qps']:,.0f} queries/s over {report['seconds']:.2f}s "
-        f"(checksum {report['checksum']:g})",
-        f"server: {server['qps']:,.0f} q/s lifetime, "
-        f"p50 {latency['p50']:.3f}ms p99 {latency['p99']:.3f}ms, "
-        f"mean coalesced batch {server['mean_batch_size']}",
+        f"(checksum {report['checksum']:g}{busy})",
+        f"server fleet ({report['workers']} worker(s)): "
+        f"{server['qps']:,.0f} q/s lifetime, "
+        f"merged-reservoir p50 {latency['p50']:.3f}ms p99 {latency['p99']:.3f}ms, "
+        f"mean coalesced batch {server['mean_batch_size']}, "
+        f"{server['busy_rejections']} busy-shed",
     ]
+    if report["workers"] > 1:
+        for row in server.get("per_worker", ()):
+            lines.append(
+                f"  worker {row['worker']}: {row['queries']} queries, "
+                f"{row['qps']:,.0f} q/s, p99 {row['p99_ms']:.3f}ms"
+            )
     index_stats = server.get("index")
     if index_stats and index_stats.get("open", True):
-        lines.append(
+        member_line = (
             f"member {index_stats['name']!r}: spec={index_stats['spec']} "
             f"n={index_stats['n']} cache hit rate {index_stats['cache_hit_rate']:.2%}"
         )
+        pair_cache = index_stats.get("pair_cache")
+        if pair_cache and pair_cache.get("enabled"):
+            member_line += f", hot-pair hit rate {pair_cache['hit_rate']:.2%}"
+        lines.append(member_line)
     return "\n".join(lines)
 
 

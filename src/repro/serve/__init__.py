@@ -7,19 +7,28 @@ two small labels, so a server holds nothing but a packed
 the missing network surface on top of the ``LabelStore`` → ``parse_many`` →
 ``QueryEngine`` pipeline:
 
-* :class:`LabelServer` (:mod:`repro.serve.server`) — an asyncio TCP server
-  whose **micro-batching coalescer** gathers every QUERY that arrives in
-  one event-loop tick, across all connections, into a single
-  ``QueryEngine.batch_query`` call per member and a single response write
-  per connection;
+* :class:`ServingCore` / :class:`LabelServer` (:mod:`repro.serve.server`)
+  — the socket-free per-process serving engine and its asyncio TCP
+  wrapper.  The engine's **micro-batching coalescer** gathers every QUERY
+  that arrives in one event-loop tick, across all connections, into a
+  single ``QueryEngine.batch_query`` call per member and a single response
+  write per connection; a bounded pending queue sheds overload with BUSY,
+  MATRIX requests run on a thread executor, and an optional hot-pair
+  response cache answers repeated pairs without touching the labels;
+* :class:`FleetSupervisor` (:mod:`repro.serve.supervisor`) — shard-per-core
+  serving: N pre-forked workers (one :class:`LabelServer` each) sharing one
+  listening address via ``SO_REUSEPORT`` (inherited-socket fallback), with
+  SIGTERM-propagated shutdown and fleet-merged statistics;
 * :class:`LabelClient` / :class:`AsyncLabelClient`
   (:mod:`repro.serve.client`) — blocking and asyncio clients with
-  connection reuse and request pipelining, returning the same typed
+  connection reuse, request pipelining and transparent BUSY
+  retry-with-jitter, returning the same typed
   :class:`~repro.api.QueryResult` values as in-process queries;
 * the wire protocol (:mod:`repro.serve.protocol`), summarised below.
 
-On the command line: ``repro-labels serve <store-or-catalog>`` and
-``repro-labels loadgen`` (see ``repro-labels serve --help``).
+On the command line: ``repro-labels serve <store-or-catalog>
+[--workers N]`` and ``repro-labels loadgen`` (see
+``repro-labels serve --help``).
 
 Wire protocol (RSP/1)
 ---------------------
@@ -49,6 +58,7 @@ Response payloads::
     RESULT       (0x81)  kind:u8 [ratio:f64be] count:uvarint value{count}
     STATS_RESULT (0x83)  len:uvarint json-utf8
     INFO_RESULT  (0x84)  len:uvarint json-utf8
+    BUSY         (0xFE)  retry_after_ms:uvarint   -- backpressure shed
     ERROR        (0xFF)  len:uvarint utf8-message
 
 ``kind`` preserves the scheme family semantics end to end:
@@ -60,21 +70,28 @@ Response payloads::
   one double holding the guaranteed ratio bound ``1 + eps``.
 
 MATRIX results flatten row-major; the client reshapes (it knows the node
-count).  ERROR responses are request-scoped — the connection stays usable —
-while unparseable bytes close the connection.
+count).  ERROR and BUSY responses are request-scoped — the connection stays
+usable — while unparseable bytes close the connection.  BUSY is the
+additive ``"busy"`` capability of RSP/1 (advertised in the INFO payload's
+``features`` list): an overloaded server sheds the request instead of
+queueing it, and the clients retry with jittered backoff.
 """
 
 from __future__ import annotations
 
-from repro.serve.client import AsyncLabelClient, LabelClient, ServerError
+from repro.serve.client import AsyncLabelClient, LabelClient, ServerBusy, ServerError
 from repro.serve.protocol import ProtocolError
-from repro.serve.server import LabelServer, serve
+from repro.serve.server import LabelServer, ServingCore, serve
+from repro.serve.supervisor import FleetSupervisor
 
 __all__ = [
+    "ServingCore",
     "LabelServer",
+    "FleetSupervisor",
     "serve",
     "LabelClient",
     "AsyncLabelClient",
     "ServerError",
+    "ServerBusy",
     "ProtocolError",
 ]

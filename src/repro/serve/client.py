@@ -17,13 +17,23 @@ Both return the same typed :class:`repro.api.QueryResult` values as the
 in-process :class:`DistanceIndex` — the wire carries the result *kind* and
 ratio bound, so exact, k-distance and approximate schemes round-trip with
 their semantics intact.  Pass ``raw=True`` for the native values.
+
+Backpressure: an overloaded server sheds QUERY/MATRIX requests with
+``OP_BUSY`` instead of queueing them.  Both clients retry busy requests
+transparently with exponential backoff and full jitter (so a fleet of
+retrying clients does not resynchronise into thundering herds); the retry
+budget is per-request (``busy_retries``) and exhausting it raises
+:class:`ServerBusy`.  ``pipeline`` retries only the shed subset of its
+window — answered requests are never re-sent.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
+import time
 
 from repro.api.result import QueryResult
 from repro.serve import protocol
@@ -31,6 +41,31 @@ from repro.serve import protocol
 
 class ServerError(RuntimeError):
     """An :data:`repro.serve.protocol.OP_ERROR` response from the server."""
+
+
+class ServerBusy(ServerError):
+    """An :data:`repro.serve.protocol.OP_BUSY` response: the request was
+    shed by server backpressure and may be retried after a delay."""
+
+    def __init__(self, retry_after_ms: int = 1) -> None:
+        super().__init__(f"server busy; retry in ~{retry_after_ms}ms")
+        self.retry_after_ms = retry_after_ms
+
+
+#: retry delays are capped so a long backoff run cannot stall a caller
+_MAX_BACKOFF_SECONDS = 0.25
+
+
+def _backoff_delay(attempt: int, retry_after_ms: int, base_delay: float) -> float:
+    """Jittered exponential backoff seeded by the server's retry hint.
+
+    Full jitter (``uniform(0.5, 1.5) * 2^attempt * base``): deterministic
+    backoff would march every shed client back in lockstep, re-creating the
+    very burst that triggered the BUSY.
+    """
+    base = max(retry_after_ms / 1000.0, base_delay)
+    delay = min(_MAX_BACKOFF_SECONDS, base * (1 << max(0, attempt - 1)))
+    return delay * (0.5 + random.random())
 
 
 _BEYOND = QueryResult(None, False, False, None)
@@ -69,12 +104,24 @@ async def _settle(future) -> None:
 class LabelClient:
     """Blocking client over one reused TCP connection."""
 
-    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 30.0,
+        busy_retries: int = 8,
+        busy_base_delay: float = 0.002,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._decoder = protocol.FrameDecoder()
         self._ids = itertools.count(1)
         self._unclaimed: dict[int, tuple] = {}
+        self.busy_retries = busy_retries
+        self.busy_base_delay = busy_base_delay
+        #: lifetime count of BUSY responses this client retried
+        self.busy_retried = 0
 
     # -- context management --------------------------------------------------
 
@@ -100,6 +147,8 @@ class LabelClient:
             claimed = self._unclaimed.pop(request_id, None)
             if claimed is not None:
                 op, payload = claimed
+                if op == protocol.OP_BUSY:
+                    raise ServerBusy(payload)
                 if op == protocol.OP_ERROR:
                     raise ServerError(payload)
                 return op, payload
@@ -111,23 +160,43 @@ class LabelClient:
                 op, seen_id, payload = protocol.decode_response(body)
                 self._unclaimed[seen_id] = (op, payload)
 
-    def _roundtrip(self, frame: bytes, request_id: int):
-        self._sock.sendall(frame)
-        return self._receive(request_id)
+    def _roundtrip(self, frame_for_id):
+        """Send one request, retrying with backoff while the server is busy.
+
+        ``frame_for_id`` builds the frame from a request id — every retry
+        uses a fresh id so a late answer to a shed request can never be
+        confused with the retry's answer.
+        """
+        attempt = 0
+        while True:
+            request_id = next(self._ids)
+            self._sock.sendall(frame_for_id(request_id))
+            try:
+                return self._receive(request_id)
+            except ServerBusy as busy:
+                attempt += 1
+                if attempt > self.busy_retries:
+                    raise
+                self.busy_retried += 1
+                time.sleep(
+                    _backoff_delay(attempt, busy.retry_after_ms, self.busy_base_delay)
+                )
 
     # -- requests ------------------------------------------------------------
 
     def query(self, u: int, v: int, *, name: str = "", raw: bool = False):
         """One distance query; a :class:`QueryResult` unless ``raw``."""
-        request_id = next(self._ids)
-        _, payload = self._roundtrip(protocol.encode_query(request_id, u, v, name), request_id)
+        _, payload = self._roundtrip(
+            lambda request_id: protocol.encode_query(request_id, u, v, name)
+        )
         return _unwrap(payload, raw)[0]
 
     def batch(self, pairs, *, name: str = "", raw: bool = False) -> list:
         """Answer many pairs with a single BATCH request."""
         pairs = list(pairs)
-        request_id = next(self._ids)
-        _, payload = self._roundtrip(protocol.encode_batch(request_id, pairs, name), request_id)
+        _, payload = self._roundtrip(
+            lambda request_id: protocol.encode_batch(request_id, pairs, name)
+        )
         return _unwrap(payload, raw)
 
     def matrix(self, nodes=None, *, name: str = "", raw: bool = False) -> list[list]:
@@ -137,20 +206,27 @@ class LabelClient:
             size = len(nodes)
         else:
             size = self.info()["members"][name]["n"]
-        request_id = next(self._ids)
-        _, payload = self._roundtrip(protocol.encode_matrix(request_id, nodes, name), request_id)
+        _, payload = self._roundtrip(
+            lambda request_id: protocol.encode_matrix(request_id, nodes, name)
+        )
         return _reshape(_unwrap(payload, raw), size)
 
-    def stats(self, name: str = "") -> dict:
-        """Server statistics (plus one member's cache stats when named)."""
-        request_id = next(self._ids)
-        _, payload = self._roundtrip(protocol.encode_stats(request_id, name), request_id)
+    def stats(self, name: str = "", *, reservoir: bool = False) -> dict:
+        """Server statistics (plus one member's cache stats when named).
+
+        ``reservoir=True`` asks for the raw latency reservoir too (for
+        fleet merging); plain polls should leave it off.
+        """
+        _, payload = self._roundtrip(
+            lambda request_id: protocol.encode_stats(
+                request_id, name, reservoir=reservoir
+            )
+        )
         return payload
 
     def info(self) -> dict:
         """Member listing: ``{"members": {name: {spec, kind, n, open}}}``."""
-        request_id = next(self._ids)
-        _, payload = self._roundtrip(protocol.encode_info(request_id), request_id)
+        _, payload = self._roundtrip(protocol.encode_info)
         return payload
 
     def pipeline(self, pairs, *, name: str = "", raw: bool = False, window: int = 256) -> list:
@@ -159,10 +235,40 @@ class LabelClient:
         This is the traffic shape the server's coalescer is built for: many
         independent single-pair requests on the wire at once.  Answers come
         back in ``pairs`` order regardless of the server's completion order.
+        Requests shed with BUSY are re-issued (only those) in later rounds
+        with jittered backoff.
         """
         pairs = list(pairs)
         if window < 1:
             raise ValueError("window must be at least 1")
+        outcomes: list = [None] * len(pairs)
+        todo = list(range(len(pairs)))
+        attempt = 0
+        while todo:
+            round_outcomes = self._pipeline_pass([pairs[i] for i in todo], name, window)
+            busy: list[int] = []
+            for slot, (op, payload) in zip(todo, round_outcomes):
+                if op == protocol.OP_BUSY:
+                    busy.append(slot)
+                elif op == protocol.OP_ERROR:
+                    raise ServerError(payload)
+                else:
+                    outcomes[slot] = payload
+            if busy:
+                # the retry budget counts *no-progress* rounds: an
+                # overloaded-but-live server answers a few requests per
+                # round and the pipeline keeps converging, while a server
+                # shedding everything exhausts the budget and raises
+                attempt = attempt + 1 if len(busy) == len(todo) else 0
+                if attempt > self.busy_retries:
+                    raise ServerBusy()
+                self.busy_retried += len(busy)
+                time.sleep(_backoff_delay(attempt, 1, self.busy_base_delay))
+            todo = busy
+        return [_unwrap(payload, raw)[0] for payload in outcomes]
+
+    def _pipeline_pass(self, pairs: list, name: str, window: int) -> list[tuple]:
+        """One windowed pass over ``pairs``; returns ``(op, payload)`` each."""
         ids = [next(self._ids) for _ in pairs]
         results: dict[int, tuple] = {}
         sent = 0
@@ -179,13 +285,7 @@ class LabelClient:
             self._sock.sendall(backlog)
         while len(results) < len(pairs):
             self._drain_into(results)
-        out = []
-        for request_id in ids:
-            op, payload = results[request_id]
-            if op == protocol.OP_ERROR:
-                raise ServerError(payload)
-            out.append(_unwrap(payload, raw)[0])
-        return out
+        return [results[request_id] for request_id in ids]
 
     def _drain_into(self, results: dict[int, tuple]) -> None:
         chunk = self._sock.recv(65536)
@@ -200,17 +300,28 @@ class LabelClient:
 class AsyncLabelClient:
     """Asyncio client; responses are matched to requests by id."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        busy_retries: int = 8,
+        busy_base_delay: float = 0.002,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self._decoder = protocol.FrameDecoder()
         self._ids = itertools.count(1)
         self._waiting: dict[int, asyncio.Future] = {}
         self._broken: Exception | None = None
+        self.busy_retries = busy_retries
+        self.busy_base_delay = busy_base_delay
+        #: lifetime count of BUSY responses this client retried
+        self.busy_retried = 0
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncLabelClient":
+    async def connect(cls, host: str, port: int, **kwargs) -> "AsyncLabelClient":
         """Open a connection and start the response reader."""
         reader, writer = await asyncio.open_connection(host, port)
         try:
@@ -219,7 +330,7 @@ class AsyncLabelClient:
             )
         except (OSError, AttributeError):  # pragma: no cover - platform quirk
             pass
-        return cls(reader, writer)
+        return cls(reader, writer, **kwargs)
 
     async def close(self) -> None:
         """Cancel the reader task and close the connection."""
@@ -253,7 +364,9 @@ class AsyncLabelClient:
                     op, request_id, payload = protocol.decode_response(body)
                     future = self._waiting.pop(request_id, None)
                     if future is not None and not future.done():
-                        if op == protocol.OP_ERROR:
+                        if op == protocol.OP_BUSY:
+                            future.set_exception(ServerBusy(payload))
+                        elif op == protocol.OP_ERROR:
                             future.set_exception(ServerError(payload))
                         else:
                             future.set_result((op, payload))
@@ -281,11 +394,26 @@ class AsyncLabelClient:
         self._writer.write(frame_for_id(request_id))
         return future
 
+    async def _request(self, frame_for_id):
+        """One request with BUSY retry: fresh id and frame per attempt."""
+        attempt = 0
+        while True:
+            try:
+                return await self._send(frame_for_id)
+            except ServerBusy as busy:
+                attempt += 1
+                if attempt > self.busy_retries:
+                    raise
+                self.busy_retried += 1
+                await asyncio.sleep(
+                    _backoff_delay(attempt, busy.retry_after_ms, self.busy_base_delay)
+                )
+
     # -- requests ------------------------------------------------------------
 
     async def query(self, u: int, v: int, *, name: str = "", raw: bool = False):
         """One distance query; a :class:`QueryResult` unless ``raw``."""
-        _, payload = await self._send(
+        _, payload = await self._request(
             lambda request_id: protocol.encode_query(request_id, u, v, name)
         )
         return _unwrap(payload, raw)[0]
@@ -293,7 +421,7 @@ class AsyncLabelClient:
     async def batch(self, pairs, *, name: str = "", raw: bool = False) -> list:
         """Answer many pairs with a single BATCH request."""
         pairs = list(pairs)
-        _, payload = await self._send(
+        _, payload = await self._request(
             lambda request_id: protocol.encode_batch(request_id, pairs, name)
         )
         return _unwrap(payload, raw)
@@ -305,21 +433,27 @@ class AsyncLabelClient:
             size = len(nodes)
         else:
             size = (await self.info())["members"][name]["n"]
-        _, payload = await self._send(
+        _, payload = await self._request(
             lambda request_id: protocol.encode_matrix(request_id, nodes, name)
         )
         return _reshape(_unwrap(payload, raw), size)
 
-    async def stats(self, name: str = "") -> dict:
-        """Server statistics (plus one member's cache stats when named)."""
-        _, payload = await self._send(
-            lambda request_id: protocol.encode_stats(request_id, name)
+    async def stats(self, name: str = "", *, reservoir: bool = False) -> dict:
+        """Server statistics (plus one member's cache stats when named).
+
+        ``reservoir=True`` asks for the raw latency reservoir too (for
+        fleet merging); plain polls should leave it off.
+        """
+        _, payload = await self._request(
+            lambda request_id: protocol.encode_stats(
+                request_id, name, reservoir=reservoir
+            )
         )
         return payload
 
     async def info(self) -> dict:
         """Member listing: ``{"members": {name: {spec, kind, n, open}}}``."""
-        _, payload = await self._send(protocol.encode_info)
+        _, payload = await self._request(protocol.encode_info)
         return payload
 
     async def pipeline(
@@ -332,10 +466,45 @@ class AsyncLabelClient:
         request frames concatenated into few ``write`` calls, and the window
         enforced by awaiting the oldest outstanding response.  Answers come
         back in ``pairs`` order regardless of the server's completion order.
+        Requests shed with BUSY are re-issued (only those) in later rounds
+        with jittered backoff.
         """
         pairs = list(pairs)
         if window < 1:
             raise ValueError("window must be at least 1")
+        outcomes: list = [None] * len(pairs)
+        todo = list(range(len(pairs)))
+        attempt = 0
+        while todo:
+            futures = await self._pipeline_pass([pairs[i] for i in todo], name, window)
+            busy: list[int] = []
+            failure = None
+            for slot, future in zip(todo, futures):
+                # retrieve every outcome before raising, so no failed future
+                # is left with a never-retrieved exception
+                error = future.exception()
+                if error is None:
+                    _, payload = future.result()
+                    outcomes[slot] = payload
+                elif isinstance(error, ServerBusy):
+                    busy.append(slot)
+                elif failure is None:
+                    failure = error
+            if failure is not None:
+                raise failure
+            if busy:
+                # no-progress rounds spend the retry budget; rounds that
+                # answered anything reset it (see LabelClient.pipeline)
+                attempt = attempt + 1 if len(busy) == len(todo) else 0
+                if attempt > self.busy_retries:
+                    raise ServerBusy()
+                self.busy_retried += len(busy)
+                await asyncio.sleep(_backoff_delay(attempt, 1, self.busy_base_delay))
+            todo = busy
+        return [_unwrap(payload, raw)[0] for payload in outcomes]
+
+    async def _pipeline_pass(self, pairs: list, name: str, window: int) -> list:
+        """One windowed pass over ``pairs``; returns the settled futures."""
         self._check_open()
         loop = asyncio.get_running_loop()
         waiting = self._waiting
@@ -379,17 +548,4 @@ class AsyncLabelClient:
             write(bytes(backlog))
         for future in futures[head:]:
             await _settle(future)
-        out = []
-        failure = None
-        for future in futures:
-            # retrieve every outcome before raising, so no failed future is
-            # left with a never-retrieved exception
-            error = future.exception()
-            if error is not None:
-                failure = failure or error
-            elif failure is None:
-                _, payload = future.result()
-                out.append(_unwrap(payload, raw)[0])
-        if failure is not None:
-            raise failure
-        return out
+        return futures

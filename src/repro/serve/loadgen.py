@@ -5,7 +5,15 @@ command and ``benchmarks/bench_serve_throughput.py``: generate a named pair
 workload (uniform or Zipf-skewed, :mod:`repro.generators.workloads`), drive
 the server from several pipelined connections, and report client-side
 throughput next to the server's own statistics (coalescer batch sizes,
-latency percentiles, parsed-label cache hit rate).
+latency percentiles, parsed-label and hot-pair cache hit rates).
+
+Against a multi-worker fleet (``repro-labels serve --workers N``) each
+connection lands on some worker, so ``loadgen`` asks **every** connection
+for STATS, de-duplicates the payloads by worker id and merges them with
+:func:`repro.serve.metrics.merge_fleet_stats`: counters and qps add, and
+the latency percentiles are recomputed from the concatenated per-worker
+reservoirs — an average of per-worker p50/p99 values is *not* a percentile
+of the fleet's latency distribution and is never reported.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import time
 
 from repro.generators.workloads import pair_workload
 from repro.serve.client import AsyncLabelClient
+from repro.serve.metrics import merge_fleet_stats
 
 
 async def _run_load_async(
@@ -68,7 +77,13 @@ async def _run_load_async(
                 *(run_shard(client, shard) for client, shard in zip(clients, shards))
             )
         elapsed = max(time.perf_counter() - started, 1e-9)
-        stats = await clients[0].stats(name)
+        # every connection may face a different worker: collect all STATS
+        # payloads and fold them into one fleet view (reservoirs merged)
+        per_connection = await asyncio.gather(
+            *(client.stats(name, reservoir=True) for client in clients)
+        )
+        stats = merge_fleet_stats(list(per_connection))
+        busy_retried = sum(client.busy_retried for client in clients)
     finally:
         for client in clients:
             await client.close()
@@ -88,6 +103,8 @@ async def _run_load_async(
         "seconds": round(elapsed, 4),
         "qps": round(answered / elapsed, 1),
         "checksum": round(checksum, 4),
+        "busy_retried": busy_retried,
+        "workers": stats["workers"],
         "server": stats,
     }
 
@@ -110,7 +127,9 @@ def run_load(
     ``mode="pipeline"`` issues one QUERY per pair with up to ``window`` in
     flight per connection (the shape that exercises the server's
     micro-batching coalescer); ``mode="batch"`` groups pairs into
-    window-sized BATCH requests instead.
+    window-sized BATCH requests instead.  ``report["server"]`` is the
+    fleet-merged STATS view; ``report["workers"]`` counts the distinct
+    workers the connections reached.
     """
     return asyncio.run(
         _run_load_async(

@@ -1,0 +1,126 @@
+"""Serving metrics shared by the server, the supervisor and the loadgen.
+
+Two concerns live here because every multi-worker consumer needs both:
+
+* :func:`percentile` — the nearest-rank estimator used for per-worker
+  latency percentiles (STATS responses) and for fleet-wide percentiles
+  computed from merged reservoirs;
+* :func:`merge_fleet_stats` — fold many per-worker STATS payloads into one
+  fleet-wide view.  Counters add, rates recompute from the summed counters,
+  and latency percentiles are recomputed from the **concatenated latency
+  reservoirs** — never by averaging per-worker p50/p99, because an average
+  of percentiles is not a percentile (a worker answering 10 queries at 9 ms
+  must not weigh as much as one answering 10 000 at 1 ms).
+"""
+
+from __future__ import annotations
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list (0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+#: STATS counters that add across workers
+_SUMMED_COUNTERS = (
+    "queries",
+    "batch_requests",
+    "batch_request_pairs",
+    "matrix_requests",
+    "matrix_offloaded",
+    "flushes",
+    "coalesced_queries",
+    "errors",
+    "busy_rejections",
+    "pending",
+    "connections_open",
+    "connections_total",
+)
+
+
+def merge_fleet_stats(stats_list: list[dict]) -> dict:
+    """One fleet-wide stats payload from many per-worker STATS payloads.
+
+    ``stats_list`` may contain several snapshots of the same worker (e.g.
+    one per loadgen connection); only the last snapshot per ``worker`` id is
+    kept.  The result mirrors the per-worker payload shape — the same keys a
+    single-process consumer reads — plus ``workers`` (distinct worker count)
+    and ``per_worker`` (one compact row per worker).
+    """
+    by_worker: dict[object, dict] = {}
+    for stats in stats_list:
+        by_worker[stats.get("worker")] = stats
+    workers = list(by_worker.values())
+    if not workers:
+        raise ValueError("merge_fleet_stats needs at least one stats payload")
+
+    merged: dict = {"workers": len(workers)}
+    for key in _SUMMED_COUNTERS:
+        merged[key] = sum(stats.get(key, 0) for stats in workers)
+    merged["qps"] = round(sum(stats.get("qps", 0.0) for stats in workers), 1)
+    merged["uptime_seconds"] = max(stats.get("uptime_seconds", 0.0) for stats in workers)
+    merged["coalescing"] = all(stats.get("coalescing", True) for stats in workers)
+    merged["max_pending"] = max(stats.get("max_pending", 0) for stats in workers)
+    merged["mean_batch_size"] = (
+        round(merged["coalesced_queries"] / merged["flushes"], 2)
+        if merged["flushes"]
+        else 0.0
+    )
+
+    # fleet latency: concatenate the per-worker reservoirs, then estimate
+    reservoir: list[float] = []
+    for stats in workers:
+        reservoir.extend(stats.get("latency_ms", {}).get("reservoir", ()))
+    merged["latency_ms"] = {
+        "p50": round(percentile(reservoir, 0.50), 4),
+        "p99": round(percentile(reservoir, 0.99), 4),
+        "samples": len(reservoir),
+        "reservoir": reservoir,
+    }
+
+    merged["per_worker"] = [
+        {
+            "worker": stats.get("worker"),
+            "qps": stats.get("qps", 0.0),
+            "queries": stats.get("queries", 0),
+            "busy_rejections": stats.get("busy_rejections", 0),
+            "p50_ms": stats.get("latency_ms", {}).get("p50", 0.0),
+            "p99_ms": stats.get("latency_ms", {}).get("p99", 0.0),
+        }
+        for stats in workers
+    ]
+
+    index = _merge_index_stats([s["index"] for s in workers if "index" in s])
+    if index is not None:
+        merged["index"] = index
+    return merged
+
+
+def _merge_index_stats(rows: list[dict]) -> dict | None:
+    """Fold per-worker member-index stats (cache counters add)."""
+    open_rows = [row for row in rows if row.get("open")]
+    if not open_rows:
+        return dict(rows[0]) if rows else None
+    merged = dict(open_rows[0])
+    for cache_key in ("cache", "pair_cache"):
+        partials = [row[cache_key] for row in open_rows if cache_key in row]
+        if not partials:
+            continue
+        hits = sum(p.get("hits", 0) for p in partials)
+        misses = sum(p.get("misses", 0) for p in partials)
+        lookups = hits + misses
+        folded = dict(partials[0])
+        folded.update(
+            hits=hits,
+            misses=misses,
+            hit_rate=round(hits / lookups, 4) if lookups else 0.0,
+            size=sum(p.get("size", 0) for p in partials),
+        )
+        merged[cache_key] = folded
+        if cache_key == "cache":
+            merged["cache_hit_rate"] = folded["hit_rate"]
+    return merged

@@ -24,6 +24,11 @@ from repro.encoding.varint import decode_uvarint, encode_uvarint
 #: bumped only when the message grammar changes incompatibly
 PROTOCOL_VERSION = 1
 
+#: additive capabilities inside RSP/1, advertised in the INFO payload so a
+#: client can feature-detect without a version bump: existing message
+#: encodings never change, new response opcodes only ever ride on them
+PROTOCOL_FEATURES = ("busy",)
+
 #: hard ceiling on one frame's body, server- and client-side (a matrix
 #: response over a few thousand nodes fits comfortably; anything larger is
 #: a protocol error, not a workload)
@@ -40,10 +45,13 @@ OP_INFO = 0x05  #: member listing: name -> {spec, kind, n}
 OP_RESULT = 0x81  #: answers to QUERY / BATCH / MATRIX
 OP_STATS_RESULT = 0x83  #: JSON statistics blob
 OP_INFO_RESULT = 0x84  #: JSON member listing
+OP_BUSY = 0xFE  #: backpressure: the request was shed, retry after a delay
 OP_ERROR = 0xFF  #: request-scoped failure (connection stays usable)
 
 REQUEST_OPS = frozenset({OP_QUERY, OP_BATCH, OP_MATRIX, OP_STATS, OP_INFO})
-RESPONSE_OPS = frozenset({OP_RESULT, OP_STATS_RESULT, OP_INFO_RESULT, OP_ERROR})
+RESPONSE_OPS = frozenset(
+    {OP_RESULT, OP_STATS_RESULT, OP_INFO_RESULT, OP_BUSY, OP_ERROR}
+)
 
 # -- result kinds ------------------------------------------------------------
 
@@ -159,9 +167,19 @@ def encode_matrix(request_id: int, nodes=None, name: str = "") -> bytes:
     return encode_frame(b"".join(parts))
 
 
-def encode_stats(request_id: int, name: str = "") -> bytes:
-    """A framed :data:`OP_STATS` request (empty name = server-wide)."""
-    return encode_frame(bytes([OP_STATS]) + encode_uvarint(request_id) + _encode_name(name))
+def encode_stats(request_id: int, name: str = "", *, reservoir: bool = False) -> bytes:
+    """A framed :data:`OP_STATS` request (empty name = server-wide).
+
+    ``reservoir=True`` appends the additive flag byte asking the server to
+    embed its raw latency reservoir (a few thousand floats) in the payload
+    — fleet-merging consumers (loadgen, the supervisor) opt in; a plain
+    STATS poll stays a few hundred bytes.  Servers ignore trailing bytes
+    they do not understand, so this is RSP/1-compatible in both directions.
+    """
+    body = bytes([OP_STATS]) + encode_uvarint(request_id) + _encode_name(name)
+    if reservoir:
+        body += b"\x01"
+    return encode_frame(body)
 
 
 def encode_info(request_id: int) -> bytes:
@@ -173,7 +191,9 @@ def decode_request(body: bytes):
     """Decode one request body into ``(op, request_id, name, payload)``.
 
     ``payload`` is op-specific: ``(u, v)`` for QUERY, a pair list for BATCH,
-    a node list or ``None`` for MATRIX, and ``None`` for STATS / INFO.
+    a node list or ``None`` for MATRIX, ``None`` for INFO, and for STATS
+    ``True`` when the optional reservoir flag byte is present (else
+    ``None``).
     """
     if not body:
         raise ProtocolError("empty frame body")
@@ -190,7 +210,8 @@ def decode_request(body: bytes):
         name = body[pos : pos + name_len].decode("utf-8")
         pos += name_len
         if op == OP_STATS:
-            return op, request_id, name, None
+            reservoir = pos < len(body) and body[pos] == 1
+            return op, request_id, name, True if reservoir else None
         if op == OP_QUERY:
             u, pos = decode_uvarint(body, pos)
             v, pos = decode_uvarint(body, pos)
@@ -295,6 +316,19 @@ def encode_result_block(answered, kind: int, ratio_bound: float | None = None) -
     return bytes(out)
 
 
+def encode_busy(request_id: int, retry_after_ms: int = 1) -> bytes:
+    """A framed :data:`OP_BUSY` response.
+
+    BUSY is request-scoped backpressure: the server's pending-query queue is
+    full and this request was shed without being answered.  The payload is a
+    uvarint retry hint in milliseconds; clients add their own jitter on top
+    (see the retry logic in :mod:`repro.serve.client`).  The connection
+    stays fully usable — this is the additive ``"busy"`` feature of RSP/1.
+    """
+    body = bytes([OP_BUSY]) + encode_uvarint(request_id) + encode_uvarint(retry_after_ms)
+    return encode_frame(body)
+
+
 def encode_error(request_id: int, message: str) -> bytes:
     """A framed :data:`OP_ERROR` response."""
     encoded = message.encode("utf-8")
@@ -318,7 +352,8 @@ def decode_response(body: bytes):
     """Decode one response body into ``(op, request_id, payload)``.
 
     ``payload`` is ``(kind, ratio_bound, values)`` for RESULT, a ``dict``
-    for STATS_RESULT / INFO_RESULT and an error-message string for ERROR.
+    for STATS_RESULT / INFO_RESULT, an error-message string for ERROR and
+    the retry-after hint in milliseconds (an ``int``) for BUSY.
     """
     if not body:
         raise ProtocolError("empty frame body")
@@ -327,6 +362,9 @@ def decode_response(body: bytes):
         raise ProtocolError(f"unknown response opcode 0x{op:02x}")
     try:
         request_id, pos = decode_uvarint(body, 1)
+        if op == OP_BUSY:
+            retry_after_ms, pos = decode_uvarint(body, pos)
+            return op, request_id, retry_after_ms
         if op == OP_ERROR:
             length, pos = decode_uvarint(body, pos)
             return op, request_id, body[pos : pos + length].decode("utf-8")

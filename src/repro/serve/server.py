@@ -1,6 +1,21 @@
-"""Asyncio TCP server fronting a :class:`DistanceIndex` or :class:`IndexCatalog`.
+"""The per-process serving engine and its asyncio TCP wrapper.
 
-The server's defining feature is the **micro-batching coalescer**: QUERY
+Two layers, split so the shard-per-core supervisor can reuse the whole
+request path in every worker process:
+
+:class:`ServingCore`
+    the socket-free serving engine — member resolution, the micro-batching
+    coalescer, bounded-pending backpressure, MATRIX executor offload, the
+    hot-pair response cache wiring and all statistics.  It needs a running
+    event loop but owns no listening socket.
+
+:class:`LabelServer`
+    a ``ServingCore`` plus asyncio TCP lifecycle: bind (fresh address,
+    ``SO_REUSEPORT`` shared address, or an inherited socket), serve, stop.
+    Single-process callers use it exactly as before;
+    :mod:`repro.serve.supervisor` runs one per forked worker.
+
+The core's defining feature is the **micro-batching coalescer**: QUERY
 requests are not answered one at a time.  Each one is appended to a
 per-member pending list and the flush is scheduled with ``loop.call_soon``,
 which runs *after* every ``data_received`` callback of the current event-loop
@@ -12,6 +27,18 @@ label LRU for every future tick) and the responses are written back with one
 pipelined client the serving cost per query drops to an append, a shared
 batch slot and a shared write.
 
+Three overload/latency features ride on the same structure:
+
+* **backpressure** — the pending-query queue is bounded (``max_pending``);
+  beyond it, new QUERY requests are shed immediately with an ``OP_BUSY``
+  response instead of growing the queue, and the clients retry with jitter;
+* **MATRIX offload** — matrix requests run on a thread executor through
+  :meth:`QueryEngine.matrix_into`, so an n²/2-query matrix no longer stalls
+  the coalescer tick (concurrent offloads are capped; excess gets BUSY);
+* **hot-pair response cache** — with ``pair_cache > 0`` every member's
+  engine keeps an LRU of ``(min(u, v), max(u, v)) -> answer``, so repeated
+  hot pairs skip the label layer entirely; hit rates surface in STATS.
+
 ``coalesce=False`` keeps the identical code path but flushes after every
 request (a batch of one) — the naive serving baseline that
 ``benchmarks/bench_serve_throughput.py`` measures the coalescer against.
@@ -20,25 +47,18 @@ request (a batch of one) — the naive serving baseline that
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from collections import deque
 
 from repro.api.catalog import CatalogError, IndexCatalog
 from repro.api.index import DistanceIndex
 from repro.serve import protocol
+from repro.serve.metrics import percentile
 from repro.store.label_store import StoreError
 
 #: latency samples kept for the percentile estimates in STATS responses
 _LATENCY_WINDOW = 4096
-
-
-def _percentile(samples: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an unsorted sample list (0 when empty)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
-    return ordered[rank]
 
 
 class _Member:
@@ -59,8 +79,8 @@ class _Member:
         self.pending: list[tuple] = []
 
 
-class LabelServer:
-    """Serve distance queries from packed labels over TCP.
+class ServingCore:
+    """The per-process serving engine (socket-free).
 
     ``target`` is a :class:`DistanceIndex` (served under the empty member
     name) or an :class:`IndexCatalog` (members addressed by name; closed
@@ -74,30 +94,46 @@ class LabelServer:
         coalesce: bool = True,
         max_batch: int = 8192,
         max_matrix: int = 1024,
+        max_pending: int = 65536,
+        max_matrix_inflight: int = 2,
+        pair_cache: int = 0,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_matrix < 1:
             raise ValueError("max_matrix must be at least 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if max_matrix_inflight < 1:
+            raise ValueError("max_matrix_inflight must be at least 1")
+        if pair_cache < 0:
+            raise ValueError("pair_cache must be non-negative")
         self._catalog: IndexCatalog | None = None
         self._members: dict[str, _Member] = {}
+        self.pair_cache = pair_cache
         if isinstance(target, IndexCatalog):
             self._catalog = target
         elif isinstance(target, DistanceIndex):
             self._members[""] = _Member("", target)
+            if pair_cache:
+                target.engine.enable_pair_cache(pair_cache)
         else:
             raise TypeError(
                 f"target must be a DistanceIndex or IndexCatalog, got {type(target).__name__}"
             )
         self.coalesce = coalesce
         self.max_batch = max_batch
-        #: MATRIX requests are answered on the event loop, so their size is
-        #: capped: an n-node matrix costs n^2/2 queries and would stall every
-        #: other connection for its duration
+        #: MATRIX responses are bounded in size even though they run off the
+        #: event loop: an n-node matrix costs n^2/2 queries of executor time
+        #: and one O(n^2) response frame
         self.max_matrix = max_matrix
-        self._server: asyncio.AbstractServer | None = None
+        #: total QUERYs allowed in the coalescer across all members; beyond
+        #: this the server sheds load with BUSY instead of queueing
+        self.max_pending = max_pending
+        self.max_matrix_inflight = max_matrix_inflight
         self._flush_scheduled = False
         self._dirty: list[_Member] = []
+        self._matrix_inflight = 0
 
         # -- serving statistics ------------------------------------------
         self.started_at = time.monotonic()
@@ -105,9 +141,12 @@ class LabelServer:
         self.batch_requests = 0  #: OP_BATCH requests served
         self.batch_request_pairs = 0
         self.matrix_requests = 0
+        self.matrix_offloaded = 0  #: MATRIX requests run on the executor
         self.flushes = 0  #: coalescer batch_query calls
         self.coalesced = 0  #: QUERY answers produced by those calls
         self.errors = 0
+        self.busy_rejections = 0  #: requests shed with OP_BUSY
+        self.pending_total = 0  #: QUERYs currently queued in the coalescer
         self.connections_total = 0
         self.connections_open = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
@@ -124,6 +163,8 @@ class LabelServer:
                     f"name, not {name!r}"
                 )
             member = _Member(name, self._catalog.index(name))
+            if self.pair_cache:
+                member.index.engine.enable_pair_cache(self.pair_cache)
             self._members[name] = member
         return member
 
@@ -140,38 +181,58 @@ class LabelServer:
                 }
         else:
             members[""] = dict(self._members[""].index.describe(), open=True)
-        return {"protocol": protocol.PROTOCOL_VERSION, "members": members}
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "features": list(protocol.PROTOCOL_FEATURES),
+            "worker": os.getpid(),
+            "members": members,
+        }
 
-    def stats(self, name: str = "") -> dict:
+    def stats(self, name: str = "", include_reservoir: bool = False) -> dict:
         """The STATS payload; ``name`` adds one member's index statistics.
 
         ``latency_ms`` covers QUERY requests only (enqueue to flush, the
         number a per-query client observes); BATCH/MATRIX requests are
         counted but would skew the per-query percentiles and stay out.
+        ``include_reservoir`` embeds the raw reservoir (in ms) so fleet
+        consumers — the supervisor's shutdown summary, the loadgen report —
+        can merge reservoirs across workers and compute true fleet
+        percentiles instead of averaging per-worker ones; plain monitoring
+        polls leave it off and stay a few hundred bytes.
         """
         elapsed = max(time.monotonic() - self.started_at, 1e-9)
         samples = list(self._latencies)
         answered = self.queries + self.batch_request_pairs
         payload = {
+            "worker": os.getpid(),
             "uptime_seconds": round(elapsed, 3),
             "queries": self.queries,
             "batch_requests": self.batch_requests,
             "batch_request_pairs": self.batch_request_pairs,
             "matrix_requests": self.matrix_requests,
+            "matrix_offloaded": self.matrix_offloaded,
+            "matrix_inflight": self._matrix_inflight,
             "flushes": self.flushes,
             "coalesced_queries": self.coalesced,
             "mean_batch_size": round(self.coalesced / self.flushes, 2) if self.flushes else 0.0,
             "errors": self.errors,
+            "busy_rejections": self.busy_rejections,
+            "pending": self.pending_total,
+            "max_pending": self.max_pending,
             "connections_open": self.connections_open,
             "connections_total": self.connections_total,
             "qps": round(answered / elapsed, 1),
             "latency_ms": {
-                "p50": round(_percentile(samples, 0.50) * 1000, 4),
-                "p99": round(_percentile(samples, 0.99) * 1000, 4),
+                "p50": round(percentile(samples, 0.50) * 1000, 4),
+                "p99": round(percentile(samples, 0.99) * 1000, 4),
                 "samples": len(samples),
             },
             "coalescing": self.coalesce,
         }
+        if include_reservoir:
+            payload["latency_ms"]["reservoir"] = [
+                round(sample * 1000, 4) for sample in samples
+            ]
         if name or self._catalog is None:
             # a read-only stats probe must not force a lazy catalog member
             # open; closed members report ``open: false`` and nothing else
@@ -183,51 +244,36 @@ class LabelServer:
                     )
                 payload["index"] = {"name": name, "open": False}
             else:
-                cache = member.index.engine.cache_info()
+                engine = member.index.engine
+                cache = engine.cache_info()
                 payload["index"] = dict(
                     member.index.describe(),
                     name=name,
                     open=True,
                     cache=cache,
                     cache_hit_rate=cache["hit_rate"],
+                    pair_cache=engine.pair_cache_info(),
                 )
         return payload
-
-    # -- lifecycle -----------------------------------------------------------
-
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Bind and start accepting; returns the actual ``(host, port)``."""
-        loop = asyncio.get_running_loop()
-        self._server = await loop.create_server(
-            lambda: _Connection(self), host=host, port=port
-        )
-        sockname = self._server.sockets[0].getsockname()
-        return sockname[0], sockname[1]
-
-    async def serve_forever(self) -> None:
-        """Run until :meth:`stop` (or task cancellation)."""
-        if self._server is None:
-            raise RuntimeError("call start() before serve_forever()")
-        try:
-            await self._server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-
-    async def stop(self) -> None:
-        """Stop accepting and close the listening socket."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
 
     # -- the micro-batching coalescer ----------------------------------------
 
     def enqueue_query(self, member: _Member, connection, request_id: int, u: int, v: int) -> None:
-        """Queue one QUERY for the next flush (or flush now when naive)."""
+        """Queue one QUERY for the next flush (or flush now when naive).
+
+        When the pending queue is already at ``max_pending``, the request is
+        shed immediately with BUSY — bounded memory and bounded latency for
+        everything already queued, at the price of the client retrying.
+        """
+        if self.pending_total >= self.max_pending:
+            self.busy_rejections += 1
+            connection.send(protocol.encode_busy(request_id, self._retry_hint_ms()))
+            return
         pending = member.pending
         if not pending:
             self._dirty.append(member)
         pending.append((connection, request_id, u, v, time.monotonic()))
+        self.pending_total += 1
         if not self.coalesce or len(pending) >= self.max_batch:
             self._flush()
         elif not self._flush_scheduled:
@@ -235,6 +281,10 @@ class LabelServer:
             # call_soon runs after every data_received callback already queued
             # in this event-loop tick: that is the coalescing window
             asyncio.get_running_loop().call_soon(self._flush)
+
+    def _retry_hint_ms(self) -> int:
+        """Backoff hint sent with BUSY: roughly one coalescer drain."""
+        return 1 + self.pending_total // 10000
 
     def _flush(self) -> None:
         """Answer every pending query with one batch call per member."""
@@ -249,6 +299,7 @@ class LabelServer:
             if not pending:
                 continue
             member.pending = []
+            self.pending_total -= len(pending)
             pairs = [(item[2], item[3]) for item in pending]
             try:
                 answers = member.index.batch(pairs, raw=True)
@@ -297,7 +348,28 @@ class LabelServer:
                     protocol.encode_result(request_id, kind, (answer,), ratio)
                 )
 
-    # -- non-coalesced request handling --------------------------------------
+    # -- MATRIX offload -------------------------------------------------------
+
+    async def _run_matrix(self, member: _Member, connection, request_id: int, nodes) -> None:
+        """One offloaded MATRIX request: executor compute, loop-side write."""
+        try:
+            flat = await asyncio.get_running_loop().run_in_executor(
+                None, member.index.engine.matrix_into, nodes
+            )
+            self.matrix_requests += 1
+            self.matrix_offloaded += 1
+            connection.send(
+                protocol.encode_result(
+                    request_id, member.kind_code, flat, member.ratio_bound
+                )
+            )
+        except (StoreError, ValueError) as error:
+            self.errors += 1
+            connection.send(protocol.encode_error(request_id, str(error)))
+        finally:
+            self._matrix_inflight -= 1
+
+    # -- request dispatch ------------------------------------------------------
 
     def handle_request(self, connection, body: bytes) -> None:
         """Dispatch one decoded frame from ``connection``."""
@@ -327,19 +399,23 @@ class LabelServer:
                         f"matrix over {size} nodes exceeds the server's limit "
                         f"of {self.max_matrix}; request fewer nodes per message"
                     )
-                rows = member.index.matrix(payload, raw=True)
-                self.matrix_requests += 1
-                flat = [value for row in rows for value in row]
-                connection.send(
-                    protocol.encode_result(
-                        request_id, member.kind_code, flat, member.ratio_bound
+                if self._matrix_inflight >= self.max_matrix_inflight:
+                    self.busy_rejections += 1
+                    connection.send(
+                        protocol.encode_busy(request_id, self._retry_hint_ms())
                     )
+                    return
+                self._matrix_inflight += 1
+                asyncio.get_running_loop().create_task(
+                    self._run_matrix(member, connection, request_id, payload)
                 )
                 return
             if op == protocol.OP_STATS:
                 connection.send(
                     protocol.encode_json_response(
-                        protocol.OP_STATS_RESULT, request_id, self.stats(name)
+                        protocol.OP_STATS_RESULT,
+                        request_id,
+                        self.stats(name, include_reservoir=payload is True),
                     )
                 )
                 return
@@ -358,10 +434,10 @@ class LabelServer:
 class _Connection(asyncio.Protocol):
     """One client connection: frame splitting and response writing."""
 
-    __slots__ = ("_server", "_decoder", "_transport", "closed")
+    __slots__ = ("_core", "_decoder", "_transport", "closed")
 
-    def __init__(self, server: LabelServer) -> None:
-        self._server = server
+    def __init__(self, core: ServingCore) -> None:
+        self._core = core
         self._decoder = protocol.FrameDecoder()
         self._transport: asyncio.Transport | None = None
         self.closed = False
@@ -370,18 +446,18 @@ class _Connection(asyncio.Protocol):
 
     def connection_made(self, transport) -> None:
         self._transport = transport
-        self._server.connections_total += 1
-        self._server.connections_open += 1
+        self._core.connections_total += 1
+        self._core.connections_open += 1
 
     def connection_lost(self, exc) -> None:
         self.closed = True
-        self._server.connections_open -= 1
+        self._core.connections_open -= 1
 
     def data_received(self, data: bytes) -> None:
         try:
             self._decoder.feed(data)
             for body in self._decoder.frames():
-                self._server.handle_request(self, body)
+                self._core.handle_request(self, body)
         except protocol.ProtocolError:
             # unparseable bytes: the stream cannot be resynchronised
             self.abort()
@@ -399,23 +475,84 @@ class _Connection(asyncio.Protocol):
         self.closed = True
 
 
+class LabelServer(ServingCore):
+    """A :class:`ServingCore` behind an asyncio TCP listener.
+
+    Three ways to bind, one per deployment shape:
+
+    * ``start(host, port)`` — a fresh private socket (the single-process
+      default);
+    * ``start(host, port, reuse_port=True)`` — a ``SO_REUSEPORT`` socket;
+      every worker process binding the same address gets a kernel-balanced
+      share of incoming connections;
+    * ``start(sock=...)`` — serve an already-bound listening socket
+      inherited from a supervisor (the pre-fork fallback where
+      ``SO_REUSEPORT`` is unavailable).
+    """
+
+    def __init__(self, target: DistanceIndex | IndexCatalog, **kwargs) -> None:
+        super().__init__(target, **kwargs)
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        reuse_port: bool = False,
+        sock=None,
+    ) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual ``(host, port)``."""
+        loop = asyncio.get_running_loop()
+        if sock is not None:
+            self._server = await loop.create_server(
+                lambda: _Connection(self), sock=sock
+            )
+        elif reuse_port:
+            self._server = await loop.create_server(
+                lambda: _Connection(self), host=host, port=port, reuse_port=True
+            )
+        else:
+            self._server = await loop.create_server(
+                lambda: _Connection(self), host=host, port=port
+            )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` (or task cancellation)."""
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
 async def serve(
     target: DistanceIndex | IndexCatalog,
     host: str = "127.0.0.1",
     port: int = 0,
     *,
-    coalesce: bool = True,
-    max_batch: int = 8192,
     ready: "asyncio.Event | None" = None,
     bound: "list | None" = None,
+    **server_kwargs,
 ) -> LabelServer:
     """Start a :class:`LabelServer` and run it until cancelled.
 
     ``bound`` (a list) receives the actual ``(host, port)`` and ``ready`` is
     set once the socket is listening — the hooks the in-process tests and
     the thread-hosted test harness use to rendezvous with the server.
+    Remaining keyword arguments go to the :class:`ServingCore` constructor.
     """
-    server = LabelServer(target, coalesce=coalesce, max_batch=max_batch)
+    server = LabelServer(target, **server_kwargs)
     address = await server.start(host, port)
     if bound is not None:
         bound.append(address)

@@ -1,0 +1,262 @@
+"""Shard-per-core serving: a pre-fork supervisor over :class:`LabelServer`.
+
+One Python process tops out at one core's worth of label decoding, so the
+production shape is N worker processes — one per core — all accepting on
+the **same** address:
+
+* where the platform has ``SO_REUSEPORT`` (Linux, modern BSDs) every worker
+  binds its own socket to the shared ``(host, port)`` and the kernel
+  load-balances incoming connections across them — no accept lock, no
+  thundering herd;
+* elsewhere the supervisor binds one listening socket before forking and
+  every worker serves the inherited socket (the classic pre-fork fallback).
+
+Each worker is a full :class:`~repro.serve.server.LabelServer` (its own
+event loop, engine caches and coalescer) re-opening the served file in its
+own address space — nothing is shared but the listening address, so there
+is no cross-process locking anywhere on the query path.
+
+Lifecycle: the supervisor forks the fleet, waits for every worker's ready
+handshake, and from then on only supervises — SIGTERM (or
+:meth:`FleetSupervisor.shutdown`) is propagated to every worker, each
+worker finishes its event-loop tick, reports its final STATS over a pipe
+and exits 0; the supervisor folds those per-worker payloads into one
+fleet-wide summary (:func:`repro.serve.metrics.merge_fleet_stats` — summed
+counters, latency percentiles recomputed from merged reservoirs).  A worker
+dying unexpectedly tears the whole fleet down rather than serving degraded.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import time
+
+from repro.serve.metrics import merge_fleet_stats
+
+#: seconds to wait for worker ready handshakes / final stats / joins
+_START_TIMEOUT = 60.0
+_STOP_TIMEOUT = 15.0
+
+
+def open_serve_target(path: str, cache_size: int = 4096):
+    """``(target, description)`` from a store or catalog file, by magic.
+
+    Shared by the CLI ``serve`` command and every supervisor worker (each
+    worker re-opens the file in its own process).  Hot-pair cache enabling
+    is the server's job, so lazily opened catalog members get it too.
+    """
+    from repro.api import CATALOG_MAGIC, DistanceIndex, IndexCatalog
+
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic == CATALOG_MAGIC:
+        catalog = IndexCatalog.load(path)
+        return catalog, f"catalog {path} ({len(catalog)} member(s))"
+    index = DistanceIndex.open(path, cache_size=cache_size)
+    return index, f"index {path} (scheme={index.spec}, n={index.n})"
+
+
+def _worker_main(path: str, config: dict, listen, conn) -> None:
+    """One worker process: open the target, serve until SIGTERM, report stats.
+
+    ``listen`` is either an ``(host, port)`` address to bind with
+    ``SO_REUSEPORT`` or an inherited listening ``socket.socket``.  The final
+    STATS payload travels back through ``conn`` after the event loop exits.
+    """
+    import asyncio
+
+    from repro.serve.server import LabelServer
+
+    # the supervisor owns interactive interrupts; workers stop on SIGTERM
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    cache_size = config.pop("cache_size", 4096)
+    target, _ = open_serve_target(path, cache_size)
+    server = LabelServer(target, **config)
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        if isinstance(listen, socket.socket):
+            address = await server.start(sock=listen)
+        else:
+            host, port = listen
+            address = await server.start(host, port, reuse_port=True)
+        conn.send(("ready", os.getpid(), address))
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        serving.cancel()
+        await server.stop()
+
+    asyncio.run(main())
+    conn.send(("stats", os.getpid(), server.stats(include_reservoir=True)))
+    conn.close()
+
+
+class FleetSupervisor:
+    """Pre-fork N :class:`LabelServer` workers sharing one listening address.
+
+    ``path`` is a store (RLS1) or catalog (RLC1) file — workers re-open it
+    independently, so the target must be a file, not a live object.  The
+    remaining keyword arguments are per-worker :class:`ServingCore`
+    configuration plus ``cache_size`` for the parsed-label LRU.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 4096,
+        **server_kwargs,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.path = path
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self._config = dict(server_kwargs, cache_size=cache_size)
+        self._processes: list[multiprocessing.Process] = []
+        self._conns: list = []
+        self._anchor: socket.socket | None = None
+        self._address: tuple[str, int] | None = None
+        self._final_stats: list[dict] = []
+        self.reuse_port = hasattr(socket, "SO_REUSEPORT")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pids(self) -> list[int]:
+        """PIDs of the worker processes (after :meth:`start`)."""
+        return [process.pid for process in self._processes if process.pid]
+
+    def start(self) -> tuple[str, int]:
+        """Fork the fleet and wait for every worker; returns ``(host, port)``."""
+        if self._processes:
+            raise RuntimeError("fleet already started")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platform
+            if not self.reuse_port:
+                raise RuntimeError(
+                    "multi-worker serving needs fork or SO_REUSEPORT"
+                ) from None
+            context = multiprocessing.get_context("spawn")
+
+        if self.reuse_port:
+            # reserve the (possibly ephemeral) port without listening: a
+            # bound non-listening socket takes no connections, but pins the
+            # address so every worker can bind it with SO_REUSEPORT
+            anchor = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            anchor.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            anchor.bind((self.host, self.port))
+            self._anchor = anchor
+            self._address = anchor.getsockname()[:2]
+            listen = self._address
+        else:  # pragma: no cover - exercised only on platforms w/o REUSEPORT
+            anchor = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            anchor.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            anchor.bind((self.host, self.port))
+            anchor.listen(1024)
+            self._anchor = anchor
+            self._address = anchor.getsockname()[:2]
+            listen = anchor
+
+        for _ in range(self.workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(self.path, dict(self._config), listen, child_conn),
+                daemon=False,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+
+        deadline = time.monotonic() + _START_TIMEOUT
+        for process, conn in zip(self._processes, self._conns):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not conn.poll(remaining):
+                self.shutdown()
+                raise RuntimeError(f"worker {process.pid} never became ready")
+            try:
+                kind, pid, payload = conn.recv()
+            except (EOFError, OSError):
+                # the worker died before its handshake (unreadable store,
+                # OOM kill, ...): tear down the siblings instead of leaving
+                # a half-fleet holding the port
+                self.shutdown()
+                raise RuntimeError(
+                    f"worker {process.pid} died before becoming ready"
+                ) from None
+            if kind != "ready":  # pragma: no cover - defensive
+                self.shutdown()
+                raise RuntimeError(f"unexpected worker handshake {kind!r}")
+        return self._address
+
+    def poll(self) -> bool:
+        """``True`` while every worker is still alive."""
+        return bool(self._processes) and all(
+            process.is_alive() for process in self._processes
+        )
+
+    def wait(self, stop_check=None, interval: float = 0.2) -> None:
+        """Block until a worker dies or ``stop_check()`` returns true.
+
+        The CLI's foreground loop: ``stop_check`` is typically "has a
+        SIGTERM/SIGINT arrived".  A worker dying unexpectedly ends the wait
+        so the caller can tear the fleet down instead of serving degraded.
+        """
+        while self.poll():
+            if stop_check is not None and stop_check():
+                return
+            time.sleep(interval)
+
+    def shutdown(self) -> dict:
+        """SIGTERM every worker, collect final stats, return the fleet summary.
+
+        The summary is :func:`merge_fleet_stats` over the workers' final
+        STATS payloads (``{}`` if none reported), with ``exit_codes`` added.
+        """
+        for process in self._processes:
+            if process.is_alive() and process.pid:
+                try:
+                    os.kill(process.pid, signal.SIGTERM)
+                except ProcessLookupError:  # pragma: no cover - exit race
+                    pass
+        deadline = time.monotonic() + _STOP_TIMEOUT
+        stats: list[dict] = []
+        for conn in self._conns:
+            try:
+                while conn.poll(max(0.0, deadline - time.monotonic())):
+                    kind, pid, payload = conn.recv()
+                    if kind == "stats":
+                        stats.append(payload)
+                        break
+            except (EOFError, OSError):
+                continue
+        for process in self._processes:
+            process.join(max(0.1, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(5)
+        exit_codes = [process.exitcode for process in self._processes]
+        for conn in self._conns:
+            conn.close()
+        if self._anchor is not None:
+            self._anchor.close()
+            self._anchor = None
+        self._final_stats = stats
+        self._processes = []
+        self._conns = []
+        summary = merge_fleet_stats(stats) if stats else {}
+        summary["exit_codes"] = exit_codes
+        return summary

@@ -34,9 +34,17 @@ class QueryEngine:
     bounded answer, or a (1+eps)-approximation.
     """
 
-    def __init__(self, store: LabelStore, scheme=None, cache_size: int = 4096) -> None:
+    def __init__(
+        self,
+        store: LabelStore,
+        scheme=None,
+        cache_size: int = 4096,
+        pair_cache_size: int = 0,
+    ) -> None:
         if cache_size < 1:
             raise ValueError("cache_size must be at least 1")
+        if pair_cache_size < 0:
+            raise ValueError("pair_cache_size must be non-negative")
         self.store = store
         self.scheme = scheme if scheme is not None else store.make_scheme()
         self._cache: OrderedDict[int, object] = OrderedDict()
@@ -44,6 +52,16 @@ class QueryEngine:
         #: parsed-label cache statistics, exposed for benchmarks and tuning
         self.cache_hits = 0
         self.cache_misses = 0
+        # -- hot-pair response cache (opt-in) ----------------------------
+        # Keyed by (min(u, v), max(u, v)): every scheme family here answers
+        # symmetrically, so one entry serves both orientations.  Disabled by
+        # default — in-process batch callers rarely repeat exact pairs — and
+        # switched on by the network server, whose Zipf-shaped traffic
+        # repeats a hot pair set heavily.
+        self._pair_cache: OrderedDict[tuple[int, int], object] = OrderedDict()
+        self._pair_cache_size = pair_cache_size
+        self.pair_hits = 0
+        self.pair_misses = 0
 
     @classmethod
     def from_labels(cls, scheme, labels: dict[int, object], **kwargs) -> "QueryEngine":
@@ -113,6 +131,20 @@ class QueryEngine:
 
     def query(self, u: int, v: int):
         """One query; result semantics follow ``scheme.kind``."""
+        if self._pair_cache_size:
+            pair_cache = self._pair_cache
+            key = (u, v) if u <= v else (v, u)
+            answer = pair_cache.get(key, _MISSING)
+            if answer is not _MISSING:
+                pair_cache.move_to_end(key)
+                self.pair_hits += 1
+                return answer
+            self.pair_misses += 1
+            answer = self.scheme.query(self.parsed_label(u), self.parsed_label(v))
+            pair_cache[key] = answer
+            if len(pair_cache) > self._pair_cache_size:
+                pair_cache.popitem(last=False)
+            return answer
         return self.scheme.query(self.parsed_label(u), self.parsed_label(v))
 
     def distance(self, u: int, v: int):
@@ -120,14 +152,68 @@ class QueryEngine:
         return self.query(u, v)
 
     def batch_query(self, pairs: Sequence[tuple[int, int]]) -> list:
-        """Answer many queries, parsing each distinct endpoint once."""
+        """Answer many queries, parsing each distinct endpoint once.
+
+        With the hot-pair cache enabled, cached pairs are answered without
+        touching the label layer at all and only the remaining pairs go
+        through the batched parse.
+        """
         pairs = list(pairs)
         if not pairs:
             return []
+        if self._pair_cache_size:
+            return self._batch_query_cached(pairs)
         us, vs = zip(*pairs)
         parsed = self._parse_batch(us + vs)
         query = self.scheme.query
         return [query(parsed[u], parsed[v]) for u, v in pairs]
+
+    def _batch_query_cached(self, pairs: list[tuple[int, int]]) -> list:
+        """The :meth:`batch_query` body when the hot-pair cache is on.
+
+        A pair repeated inside one batch is computed once; hit/miss
+        accounting matches the one-lookup-per-request semantics the server's
+        STATS report (a within-batch repeat of a missing pair counts as a
+        hit — it was served from the freshly cached answer).
+        """
+        pair_cache = self._pair_cache
+        promote = pair_cache.move_to_end
+        answered: dict[tuple[int, int], object] = {}
+        keys: list[tuple[int, int]] = []
+        missing: list[tuple[int, int]] = []
+        hits = 0
+        for u, v in pairs:
+            key = (u, v) if u <= v else (v, u)
+            keys.append(key)
+            if key in answered:
+                hits += 1
+                continue
+            cached = pair_cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                # promote on hit: the server's coalescer only ever queries
+                # through this path, so skipping promotion here would turn
+                # the "LRU" into insertion-order FIFO and churn the hot set
+                promote(key)
+                hits += 1
+                answered[key] = cached
+            else:
+                missing.append(key)
+                answered[key] = _MISSING  # placeholder: computed below
+        self.pair_hits += hits
+        if missing:
+            self.pair_misses += len(missing)
+            us, vs = zip(*missing)
+            parsed = self._parse_batch(us + vs)
+            query = self.scheme.query
+            for key in missing:
+                answered[key] = query(parsed[key[0]], parsed[key[1]])
+            pair_cache.update((key, answered[key]) for key in missing)
+            overflow = len(pair_cache) - self._pair_cache_size
+            if overflow > 0:
+                pop = pair_cache.popitem
+                for _ in range(overflow):
+                    pop(last=False)
+        return [answered[key] for key in keys]
 
     def batch_distance(self, pairs: Sequence[tuple[int, int]]) -> list:
         """Alias of :meth:`batch_query` for the common exact-scheme case."""
@@ -192,7 +278,93 @@ class QueryEngine:
                 matrix[j][i] = answer
         return matrix
 
+    def matrix_into(
+        self,
+        nodes: Sequence[int] | None = None,
+        out: list | None = None,
+        assume_symmetric: bool = True,
+    ) -> list:
+        """All pairwise answers over ``nodes``, flat row-major, executor-safe.
+
+        This is the entry point the network server offloads MATRIX requests
+        to a worker thread through, so unlike :meth:`distance_matrix` it
+        **never mutates the engine**: parsed labels come from read-only
+        cache lookups (no LRU promotion, no insertion, no counter updates)
+        with misses parsed into a local dict, and the result is appended to
+        ``out`` (or a fresh list) as one flat row-major sequence — exactly
+        the shape the wire protocol carries, skipping the row-list build and
+        re-flatten.  Safe to run concurrently with event-loop queries on
+        another thread; the trade-off is that a matrix never warms any
+        cache.
+        """
+        targets = list(range(self.store.n)) if nodes is None else list(nodes)
+        cache_get = self._cache.get
+        # one cache lookup per distinct node: the event loop may evict
+        # entries concurrently, so a second lookup could miss where the
+        # first hit — every label is captured at its first sighting
+        by_node: dict[int, object] = {}
+        missing: list[int] = []
+        for node in dict.fromkeys(targets):
+            label = cache_get(node, _MISSING)
+            if label is _MISSING:
+                missing.append(node)
+            else:
+                by_node[node] = label
+        if missing:
+            by_node.update(self.scheme.parse_many(self.store, missing))
+        parsed = [by_node[node] for node in targets]
+        flat = [] if out is None else out
+        query = self.scheme.query
+        size = len(parsed)
+        if not assume_symmetric:
+            for label_i in parsed:
+                for label_j in parsed:
+                    flat.append(query(label_i, label_j))
+            return flat
+        # upper triangle once, mirrored through a local row matrix
+        rows: list[list] = [[0] * size for _ in range(size)]
+        for i in range(size):
+            label_i = parsed[i]
+            row = rows[i]
+            row[i] = query(label_i, label_i)
+            for j in range(i + 1, size):
+                answer = query(label_i, parsed[j])
+                row[j] = answer
+                rows[j][i] = answer
+        for row in rows:
+            flat.extend(row)
+        return flat
+
     # -- cache management ----------------------------------------------------
+
+    def enable_pair_cache(self, size: int) -> None:
+        """Switch the hot-pair response cache on (or resize it).
+
+        The network server calls this on lazily opened catalog members, so
+        the cache can be a serving-layer decision without threading a
+        constructor argument through every open path.  Shrinking evicts
+        oldest entries; ``size=0`` disables and clears.
+        """
+        if size < 0:
+            raise ValueError("pair cache size must be non-negative")
+        self._pair_cache_size = size
+        overflow = len(self._pair_cache) - size
+        if overflow > 0:
+            pop = self._pair_cache.popitem
+            for _ in range(overflow):
+                pop(last=False)
+
+    def pair_cache_info(self) -> dict:
+        """Hit/miss counters and occupancy of the hot-pair response cache."""
+        lookups = self.pair_hits + self.pair_misses
+        return {
+            "enabled": bool(self._pair_cache_size),
+            "hits": self.pair_hits,
+            "misses": self.pair_misses,
+            "hit_rate": round(self.pair_hits / lookups, 4) if lookups else 0.0,
+            "size": len(self._pair_cache),
+            "max_size": self._pair_cache_size,
+        }
 
     def cache_info(self) -> dict:
         """Hit/miss counters and current occupancy of the parsed-label cache.
@@ -203,16 +375,22 @@ class QueryEngine:
         records.
         """
         lookups = self.cache_hits + self.cache_misses
-        return {
+        info = {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "hit_rate": round(self.cache_hits / lookups, 4) if lookups else 0.0,
             "size": len(self._cache),
             "max_size": self._cache_size,
         }
+        if self._pair_cache_size:
+            info["pair_cache"] = self.pair_cache_info()
+        return info
 
     def clear_cache(self) -> None:
-        """Drop all parsed labels (counters included)."""
+        """Drop all parsed labels and cached pair answers (counters included)."""
         self._cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self._pair_cache.clear()
+        self.pair_hits = 0
+        self.pair_misses = 0

@@ -1,0 +1,91 @@
+"""Differential tests for the Alstrup word-level ``parse_many`` override.
+
+``AlstrupScheme.parse_many`` decodes labels straight from the store's
+packed words (no ``BitReader``, no intermediate ``Bits`` beyond the
+codewords the label keeps); these tests pin it field-for-field against the
+generic ``LabelingScheme.parse_many`` route, which goes through
+``AlstrupLabel.from_bits`` — the same contract
+``tests/test_freedman_parse_many.py`` enforces for the Freedman decoder.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.alstrup import AlstrupScheme, _parse_word
+from repro.core.base import LabelingScheme
+from repro.generators.workloads import make_tree, random_pairs
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.store import LabelStore, QueryEngine
+from repro.testing import parent_array_trees
+
+
+def _assert_same_labels(scheme: AlstrupScheme, store: LabelStore) -> None:
+    nodes = list(range(store.n))
+    word_level = scheme.parse_many(store, nodes)
+    generic = LabelingScheme.parse_many(scheme, store, nodes)
+    assert set(word_level) == set(generic)
+    for node in nodes:
+        assert word_level[node] == generic[node], f"label of node {node} differs"
+
+
+@pytest.mark.parametrize("family", ["random", "path", "star", "caterpillar", "broom"])
+def test_word_level_matches_generic_across_families(family):
+    tree = make_tree(family, 120, seed=11)
+    scheme = AlstrupScheme()
+    _assert_same_labels(scheme, LabelStore.encode_tree(scheme, tree))
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=parent_array_trees(max_nodes=40))
+def test_word_level_matches_generic_on_random_trees(tree):
+    scheme = AlstrupScheme()
+    _assert_same_labels(scheme, LabelStore.encode_tree(scheme, tree))
+
+
+def test_parse_word_equals_from_bits_per_label():
+    tree = make_tree("random", 60, seed=19)
+    scheme = AlstrupScheme()
+    store = LabelStore.encode_tree(scheme, tree)
+    for node in range(store.n):
+        bits = store.label_bits(node)
+        assert _parse_word(bits.to_int(), len(bits)) == scheme.parse(bits)
+
+
+def test_engine_queries_through_word_parser_match_oracle():
+    tree = make_tree("random", 300, seed=29)
+    scheme = AlstrupScheme()
+    engine = QueryEngine.encode_tree(scheme, tree)
+    oracle = TreeDistanceOracle(tree)
+    pairs = random_pairs(tree, 600, seed=31)
+    assert engine.batch_query(pairs) == [oracle.distance(u, v) for u, v in pairs]
+
+
+def test_word_level_used_by_duck_typed_stores():
+    """A store exposing only ``label_words`` still gets the word decoder."""
+
+    class WordsOnlyStore:
+        def __init__(self, store: LabelStore) -> None:
+            self._store = store
+
+        def label_words(self, nodes):
+            return self._store.label_words(nodes)
+
+    tree = make_tree("random", 80, seed=37)
+    scheme = AlstrupScheme()
+    store = LabelStore.encode_tree(scheme, tree)
+    nodes = list(range(store.n))
+    assert scheme.parse_many(WordsOnlyStore(store), nodes) == scheme.parse_many(
+        store, nodes
+    )
+
+
+def test_word_level_out_of_range_node():
+    from repro.store.label_store import StoreError
+
+    tree = make_tree("random", 20, seed=1)
+    scheme = AlstrupScheme()
+    store = LabelStore.encode_tree(scheme, tree)
+    with pytest.raises(StoreError):
+        scheme.parse_many(store, [store.n])

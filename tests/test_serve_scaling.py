@@ -1,0 +1,548 @@
+"""Tests for the serving scale-out layer: backpressure (BUSY + client
+retry), MATRIX executor offload, the hot-pair response cache, fleet stats
+merging and the shard-per-core supervisor.
+
+The deterministic overload tests drive a :class:`ServingCore` directly (it
+is socket-free by design); the retry tests run real servers; the supervisor
+tests fork real worker processes — in-process through
+:class:`FleetSupervisor` and end-to-end through the CLI with SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import DistanceIndex, IndexCatalog
+from repro.generators.workloads import make_tree, random_pairs, zipf_pairs
+from repro.serve import (
+    AsyncLabelClient,
+    FleetSupervisor,
+    LabelClient,
+    LabelServer,
+    ServerBusy,
+    ServingCore,
+    protocol,
+)
+from repro.serve.metrics import merge_fleet_stats, percentile
+from repro.store import QueryEngine
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return make_tree("random", 150, seed=7)
+
+
+@pytest.fixture(scope="module")
+def index(tree):
+    return DistanceIndex.build(tree, "freedman")
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _with_server(target, handler, **server_kwargs):
+    server = LabelServer(target, **server_kwargs)
+    host, port = await server.start()
+    try:
+        client = await AsyncLabelClient.connect(host, port)
+        try:
+            return await handler(server, client, host, port)
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+
+
+# -- BUSY protocol ------------------------------------------------------------
+
+
+def test_busy_frame_round_trip():
+    frame = protocol.encode_busy(42, 7)
+    decoder = protocol.FrameDecoder()
+    decoder.feed(frame)
+    (body,) = decoder.frames()
+    assert protocol.decode_response(body) == (protocol.OP_BUSY, 42, 7)
+
+
+def test_info_advertises_busy_feature(tree, index):
+    async def handler(server, client, host, port):
+        info = await client.info()
+        assert "busy" in info["features"]
+        assert info["protocol"] == protocol.PROTOCOL_VERSION
+        assert info["worker"] == os.getpid()
+
+    _run(_with_server(index, handler))
+
+
+def test_stats_reservoir_flag_round_trips():
+    plain = protocol.encode_stats(3, "m")
+    flagged = protocol.encode_stats(4, "m", reservoir=True)
+    decoder = protocol.FrameDecoder()
+    decoder.feed(plain)
+    decoder.feed(flagged)
+    bodies = decoder.frames()
+    assert protocol.decode_request(bodies[0]) == (protocol.OP_STATS, 3, "m", None)
+    assert protocol.decode_request(bodies[1]) == (protocol.OP_STATS, 4, "m", True)
+
+
+def test_stats_reservoir_is_opt_in(tree, index):
+    """A plain STATS poll stays small; ``reservoir=True`` embeds the raw
+    latency samples the fleet-merging consumers need."""
+    pairs = random_pairs(tree, 50, seed=1)
+
+    async def handler(server, client, host, port):
+        await client.pipeline(pairs, raw=True, window=16)
+        plain = await client.stats()
+        assert "reservoir" not in plain["latency_ms"]
+        assert plain["latency_ms"]["samples"] == len(pairs)
+        full = await client.stats(reservoir=True)
+        reservoir = full["latency_ms"]["reservoir"]
+        assert len(reservoir) == full["latency_ms"]["samples"] == len(pairs)
+        assert all(sample >= 0 for sample in reservoir)
+
+    _run(_with_server(index, handler))
+
+
+# -- bounded pending queue (deterministic, socket-free) -----------------------
+
+
+class _FakeConnection:
+    """Collects the frames a :class:`ServingCore` sends."""
+
+    closed = False
+
+    def __init__(self) -> None:
+        self._decoder = protocol.FrameDecoder()
+
+    def send(self, data: bytes) -> None:
+        self._decoder.feed(data)
+
+    def responses(self) -> list[tuple]:
+        return [protocol.decode_response(body) for body in self._decoder.frames()]
+
+
+def _request_body(frame: bytes) -> bytes:
+    decoder = protocol.FrameDecoder()
+    decoder.feed(frame)
+    return decoder.frames()[0]
+
+
+def test_pending_queue_is_bounded_and_sheds_busy(index):
+    """50 queries in one tick against max_pending=8: exactly 8 answered,
+    42 shed with BUSY, and the pending gauge returns to zero."""
+
+    async def main():
+        core = ServingCore(index, max_pending=8, max_batch=10_000)
+        connection = _FakeConnection()
+        for request_id in range(1, 51):
+            core.handle_request(
+                connection, _request_body(protocol.encode_query(request_id, 0, 1))
+            )
+        assert core.pending_total == 8  # the queue never grew past the bound
+        await asyncio.sleep(0)  # let the scheduled coalescer flush run
+        responses = connection.responses()
+        answered = [r for r in responses if r[0] == protocol.OP_RESULT]
+        shed = [r for r in responses if r[0] == protocol.OP_BUSY]
+        assert len(answered) == 8
+        assert len(shed) == 42
+        assert all(isinstance(r[2], int) and r[2] >= 1 for r in shed)  # retry hint
+        assert core.pending_total == 0
+        stats = core.stats()
+        assert stats["busy_rejections"] == 42
+        assert stats["queries"] == 8
+        assert stats["pending"] == 0
+
+    _run(main())
+
+
+def test_async_client_retries_busy_until_answered(tree, index):
+    """Overload a tiny queue through a real socket: the async pipeline must
+    retry the shed subset with backoff and still return every answer in
+    order."""
+    pairs = random_pairs(tree, 300, seed=3)
+    expected = index.batch(pairs, raw=True)
+
+    async def handler(server, client, host, port):
+        answers = await client.pipeline(pairs, name="", raw=True, window=256)
+        assert answers == expected
+        assert client.busy_retried > 0  # the shed path was really exercised
+        stats = await client.stats()
+        assert stats["busy_rejections"] > 0
+        assert stats["pending"] == 0
+
+    _run(_with_server(index, handler, max_pending=4, max_batch=10_000))
+
+
+async def _always_busy_connection(reader, writer):
+    """A server that sheds every request: the retry-budget worst case."""
+    decoder = protocol.FrameDecoder()
+    while True:
+        data = await reader.read(65536)
+        if not data:
+            break
+        decoder.feed(data)
+        for body in decoder.frames():
+            _, request_id, _, _ = protocol.decode_request(body)
+            writer.write(protocol.encode_busy(request_id, 1))
+
+
+def test_busy_retry_budget_exhausts_against_dead_overload():
+    """Against a server that sheds everything, both query and pipeline give
+    up after the configured number of fruitless retries."""
+
+    async def main():
+        busy_server = await asyncio.start_server(_always_busy_connection, "127.0.0.1", 0)
+        host, port = busy_server.sockets[0].getsockname()[:2]
+        try:
+            client = await AsyncLabelClient.connect(
+                host, port, busy_retries=2, busy_base_delay=0.001
+            )
+            try:
+                with pytest.raises(ServerBusy):
+                    await client.query(0, 1)
+                assert client.busy_retried == 2  # both budgeted retries spent
+                with pytest.raises(ServerBusy):
+                    await client.pipeline([(0, 1), (2, 3)], raw=True)
+            finally:
+                await client.close()
+        finally:
+            busy_server.close()
+            await busy_server.wait_closed()
+
+    _run(main())
+
+
+# -- sync client retry against a thread-hosted overloaded server --------------
+
+
+@pytest.fixture()
+def threaded_tiny_queue_server(index):
+    """A live ``max_pending=4`` server on a daemon thread."""
+    bound: list[tuple[str, int]] = []
+    ready = threading.Event()
+    holder: dict = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = LabelServer(index, max_pending=4, max_batch=10_000)
+            bound.append(await server.start())
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            holder["server"] = server
+            ready.set()
+            serving = asyncio.ensure_future(server.serve_forever())
+            await holder["stop"].wait()
+            serving.cancel()
+            await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server thread failed to start"
+    yield bound[0], holder
+    holder["loop"].call_soon_threadsafe(holder["stop"].set)
+    thread.join(10)
+
+
+def test_sync_client_retries_busy_until_answered(threaded_tiny_queue_server, tree, index):
+    (host, port), holder = threaded_tiny_queue_server
+    pairs = random_pairs(tree, 300, seed=5)
+    with LabelClient(host, port) as client:
+        answers = client.pipeline(pairs, raw=True, window=256)
+        assert answers == index.batch(pairs, raw=True)
+        assert client.busy_retried > 0
+        assert client.stats()["busy_rejections"] > 0
+
+
+# -- MATRIX executor offload --------------------------------------------------
+
+
+def test_matrix_offloaded_and_correct(tree, index):
+    nodes = [0, 5, 9, 17, 31]
+    expected = index.matrix(nodes, raw=True)
+
+    async def handler(server, client, host, port):
+        assert await client.matrix(nodes, name="", raw=True) == expected
+        full = await client.matrix(name="", raw=True)
+        assert full == index.matrix(raw=True)
+        stats = await client.stats()
+        assert stats["matrix_requests"] == 2
+        assert stats["matrix_offloaded"] == 2
+        assert stats["matrix_inflight"] == 0
+
+    _run(_with_server(index, handler))
+
+
+def test_concurrent_matrix_beyond_inflight_cap_gets_busy(tree, index):
+    """With max_matrix_inflight=1, a second MATRIX arriving while the first
+    runs on the executor is shed with BUSY (raw sends bypass client retry)."""
+
+    async def handler(server, client, host, port):
+        first = client._send(lambda rid: protocol.encode_matrix(rid, None, ""))
+        second = client._send(lambda rid: protocol.encode_matrix(rid, [0, 1, 2], ""))
+        op, payload = await first
+        assert op == protocol.OP_RESULT
+        with pytest.raises(ServerBusy):
+            await second
+        stats = await client.stats()
+        assert stats["busy_rejections"] == 1
+        # the retrying client path succeeds once the executor drains
+        assert await client.matrix([0, 1, 2], name="", raw=True) == index.matrix(
+            [0, 1, 2], raw=True
+        )
+
+    _run(_with_server(index, handler, max_matrix_inflight=1))
+
+
+def test_matrix_into_matches_distance_matrix_and_leaves_caches_alone(tree):
+    engine = QueryEngine.encode_tree(
+        DistanceIndex.build(tree, "freedman").scheme, tree
+    )
+    nodes = [3, 1, 4, 1, 5, 9, 2, 6]
+    expected = [value for row in engine.distance_matrix(nodes) for value in row]
+    before = engine.cache_info()
+    flat = engine.matrix_into(nodes)
+    assert flat == expected
+    assert engine.cache_info() == before  # read-only: no counters, no inserts
+    # the full matrix and the asymmetric path agree too
+    full = engine.matrix_into()
+    assert full == [value for row in engine.distance_matrix() for value in row]
+    assert engine.matrix_into(nodes, assume_symmetric=False) == expected
+    # out= appends into the caller's buffer
+    out: list = [None]
+    assert engine.matrix_into(nodes, out=out) is out
+    assert out[1:] == expected
+
+
+# -- hot-pair response cache --------------------------------------------------
+
+
+def test_engine_pair_cache_symmetric_hits_and_eviction(tree):
+    index = DistanceIndex.build(tree, "freedman", pair_cache_size=2)
+    engine = index.engine
+    a = index.query(3, 42, raw=True)
+    assert engine.pair_misses == 1 and engine.pair_hits == 0
+    assert index.query(42, 3, raw=True) == a  # symmetric key: same entry
+    assert engine.pair_hits == 1
+    index.query(1, 2, raw=True)
+    index.query(5, 6, raw=True)  # evicts (3, 42)
+    index.query(3, 42, raw=True)
+    assert engine.pair_misses == 3 + 1
+    info = engine.pair_cache_info()
+    assert info["enabled"] and info["size"] == 2 and info["max_size"] == 2
+    assert "pair_cache" in engine.cache_info()
+    engine.clear_cache()
+    assert engine.pair_cache_info()["hits"] == 0
+    assert engine.pair_cache_info()["size"] == 0
+
+
+def test_pair_cache_answers_match_uncached(tree):
+    plain = DistanceIndex.build(tree, "freedman")
+    cached = DistanceIndex.build(tree, "freedman", pair_cache_size=64)
+    pairs = zipf_pairs(tree, 500, skew=1.2, seed=13)
+    assert cached.batch(pairs, raw=True) == plain.batch(pairs, raw=True)
+    assert cached.engine.pair_hits > 0  # the zipf hot set repeated
+    for u, v in pairs[:20]:
+        assert cached.query(u, v, raw=True) == plain.query(u, v, raw=True)
+
+
+def test_pair_cache_disabled_by_default(tree):
+    engine = DistanceIndex.build(tree, "freedman").engine
+    engine.query(1, 2)
+    assert engine.pair_cache_info() == {
+        "enabled": False,
+        "hits": 0,
+        "misses": 0,
+        "hit_rate": 0.0,
+        "size": 0,
+        "max_size": 0,
+    }
+    assert "pair_cache" not in engine.cache_info()
+    assert "pair_cache" not in DistanceIndex.build(tree, "freedman").describe()
+
+
+def test_describe_surfaces_pair_cache_hit_rate(tree):
+    index = DistanceIndex.build(tree, "freedman", pair_cache_size=32)
+    index.query(3, 42)
+    index.query(3, 42)
+    row = index.describe()
+    assert row["pair_cache"]["enabled"]
+    assert row["pair_cache"]["hit_rate"] == 0.5
+    assert index.stats()["pair_cache"]["hits"] == 1
+
+
+def test_server_enables_pair_cache_on_lazy_members(tree):
+    catalog = IndexCatalog()
+    catalog.add("exact", DistanceIndex.build(tree, "freedman"))
+    fresh = IndexCatalog.from_bytes(catalog.to_bytes())
+    pairs = zipf_pairs(tree, 400, skew=1.3, seed=17)
+
+    async def handler(server, client, host, port):
+        answers = await client.pipeline(pairs, name="exact", raw=True, window=64)
+        assert answers == catalog.index("exact").batch(pairs, raw=True)
+        stats = await client.stats("exact")
+        pair_cache = stats["index"]["pair_cache"]
+        assert pair_cache["enabled"]
+        assert pair_cache["hits"] > 0
+        assert stats["index"]["pair_cache"]["hit_rate"] > 0.0
+
+    _run(_with_server(fresh, handler, pair_cache=512))
+
+
+# -- fleet stats merging ------------------------------------------------------
+
+
+def _stats_payload(worker, qps, reservoir, **extra):
+    payload = {
+        "worker": worker,
+        "uptime_seconds": 1.0,
+        "queries": len(reservoir),
+        "flushes": max(1, len(reservoir) // 4),
+        "coalesced_queries": len(reservoir),
+        "qps": qps,
+        "latency_ms": {
+            "p50": percentile(reservoir, 0.5),
+            "p99": percentile(reservoir, 0.99),
+            "samples": len(reservoir),
+            "reservoir": reservoir,
+        },
+        "coalescing": True,
+    }
+    payload.update(extra)
+    return payload
+
+
+def test_merged_percentiles_are_not_averaged_percentiles():
+    """1000 fast samples on one worker, 10 slow on another: the fleet p99
+    must reflect the distribution (fast), not the average of p99s (50ms)."""
+    fast = _stats_payload(1, 1000.0, [1.0] * 1000)
+    slow = _stats_payload(2, 10.0, [100.0] * 10)
+    merged = merge_fleet_stats([fast, slow])
+    assert merged["workers"] == 2
+    assert merged["qps"] == 1010.0
+    assert merged["latency_ms"]["samples"] == 1010
+    assert merged["latency_ms"]["p99"] == 1.0  # rank 999 of 1010 sorted samples
+    averaged = (fast["latency_ms"]["p99"] + slow["latency_ms"]["p99"]) / 2
+    assert averaged == pytest.approx(50.5)  # the broken estimate this replaces
+    # p50 likewise comes from the merged reservoir
+    assert merged["latency_ms"]["p50"] == 1.0
+
+
+def test_merge_dedupes_snapshots_by_worker_id():
+    first = _stats_payload(7, 5.0, [1.0, 2.0], busy_rejections=1)
+    second = _stats_payload(7, 9.0, [1.0, 2.0, 3.0], busy_rejections=2)
+    merged = merge_fleet_stats([first, second])
+    assert merged["workers"] == 1
+    assert merged["qps"] == 9.0  # only the latest snapshot per worker counts
+    assert merged["busy_rejections"] == 2
+    assert merged["latency_ms"]["samples"] == 3
+
+
+def test_merge_folds_member_index_cache_counters():
+    a = _stats_payload(1, 1.0, [1.0])
+    a["index"] = {
+        "name": "m",
+        "open": True,
+        "cache": {"hits": 8, "misses": 2, "hit_rate": 0.8, "size": 4, "max_size": 8},
+    }
+    b = _stats_payload(2, 1.0, [1.0])
+    b["index"] = {"name": "m", "open": False}
+    merged = merge_fleet_stats([a, b])
+    assert merged["index"]["cache"]["hits"] == 8
+    assert merged["index"]["cache_hit_rate"] == 0.8
+
+
+# -- the shard-per-core supervisor --------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def store_file(tree, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet") / "fleet.bin"
+    DistanceIndex.build(tree, "freedman").save(path)
+    return str(path)
+
+
+def test_fleet_supervisor_round_trip_and_aggregation(store_file, tree, index):
+    supervisor = FleetSupervisor(store_file, workers=2, port=0, max_pending=10_000)
+    host, port = supervisor.start()
+    try:
+        assert len(supervisor.pids) == 2
+        assert supervisor.poll()
+        pairs = random_pairs(tree, 200, seed=23)
+        with LabelClient(host, port) as client:
+            assert client.pipeline(pairs, raw=True, window=64) == index.batch(
+                pairs, raw=True
+            )
+    finally:
+        fleet = supervisor.shutdown()
+    assert fleet["exit_codes"] == [0, 0]
+    assert fleet["queries"] == len(pairs)
+    assert fleet["workers"] >= 1  # stats only from workers that reported
+    assert not supervisor.poll()
+
+
+def test_supervisor_rejects_bad_worker_count(store_file):
+    with pytest.raises(ValueError):
+        FleetSupervisor(store_file, workers=0)
+
+
+def _spawn_cli_serve(store_file: str, *extra: str):
+    environment = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    environment["PYTHONPATH"] = src + (
+        os.pathsep + environment["PYTHONPATH"] if environment.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", store_file, "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=environment,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"serving .* on ([0-9.]+):(\d+) \[", line)
+    if not match:
+        process.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return process, match.group(1), int(match.group(2)), line
+
+
+def test_cli_fleet_sigterm_tears_down_all_workers(store_file, tree, index):
+    """The end-to-end satellite: ``serve --workers 2`` under SIGTERM exits 0,
+    prints the fleet summary, and leaves no orphan worker processes."""
+    process, host, port, ready = _spawn_cli_serve(store_file, "--workers", "2")
+    try:
+        pids = [int(p) for p in re.search(r"pids=([0-9,]+)", ready).group(1).split(",")]
+        assert len(pids) == 2
+        pairs = random_pairs(tree, 150, seed=29)
+        with LabelClient(host, port) as client:
+            assert client.pipeline(pairs, raw=True, window=32) == index.batch(
+                pairs, raw=True
+            )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=30)
+    assert process.returncode == 0, output
+    assert "shutdown:" in output
+    assert "fleet: 2 workers" in output
+    deadline = time.monotonic() + 10
+    for pid in pids:
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break  # worker is gone
+            time.sleep(0.05)
+        else:
+            pytest.fail(f"worker {pid} survived supervisor shutdown")
