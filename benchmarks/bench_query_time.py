@@ -14,6 +14,8 @@ fast path.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 import perf_common  # the src/ path shim plus shared timing and reference helpers
@@ -177,13 +179,94 @@ def test_packed_vs_reference_batch_query():
 # -- machine-readable runner (BENCH_query_time.json) -------------------------
 
 
-def run_perf_json(smoke: bool = False, out: str | None = None, warm: bool = False) -> dict:
+def _measure_kernel_section(gate_n: int, gate_pairs: int, repeats: int) -> dict:
+    """Per-tier parse and batch-query throughput on the hld-fixed store.
+
+    The parse comparison runs each tier's ``parse_checksum`` over every node
+    (the native kernel's bulk word decode vs the packed-Python
+    ``parse_many`` plus the same field fold), asserting the checksums agree
+    — the same decoder certification the differential suite uses — and
+    records ``native_speedup`` against the 5x acceptance gate.
+    """
+    from repro import kernels
+
+    kernels.reset()
+    probed = kernels.probe(full=True)
+    tree = make_tree("random", gate_n, seed=23)
+    scheme = HLDScheme()
+    store = LabelStore.encode_tree(scheme, tree)
+    nodes = list(range(store.n))
+    pairs = random_pairs(tree, gate_pairs, seed=13)
+
+    tiers_json: dict[str, dict] = {}
+    checksums: set[int] = set()
+    parse_times: dict[str, float] = {}
+    saved = os.environ.get(kernels.ENV_VAR)
+    try:
+        for tier in kernels.TIER_ORDER:
+            backend = kernels.get_backend(tier)
+            if backend is None:
+                tiers_json[tier] = {"available": False}
+                continue
+            checksum = backend.parse_checksum(store, scheme, nodes)
+            row: dict = {"available": True}
+            if checksum is not None:
+                checksums.add(checksum)
+                parse_time, _ = perf_common.best_of(
+                    lambda: backend.parse_checksum(store, scheme, nodes),
+                    repeats=repeats,
+                )
+                parse_times[tier] = parse_time
+                row["parse_ops_per_sec"] = round(len(nodes) / parse_time, 1)
+            os.environ[kernels.ENV_VAR] = tier
+            kernels.reset()
+            batch_time, _ = perf_common.best_of(
+                lambda: QueryEngine(store, scheme=scheme).batch_query(pairs),
+                repeats=repeats,
+            )
+            row["batch_query_ops_per_sec"] = round(len(pairs) / batch_time, 1)
+            tiers_json[tier] = row
+    finally:
+        if saved is None:
+            os.environ.pop(kernels.ENV_VAR, None)
+        else:
+            os.environ[kernels.ENV_VAR] = saved
+        kernels.reset()
+    if len(checksums) > 1:
+        raise AssertionError(f"kernel tiers decoded different fields: {checksums}")
+
+    native_speedup = None
+    if "native" in parse_times and "python" in parse_times:
+        native_speedup = round(parse_times["python"] / parse_times["native"], 2)
+    return {
+        "description": (
+            "per-tier bulk parse (parse_checksum over every node) and "
+            f"batch_query throughput, hld-fixed, n={gate_n}, best-of {repeats}"
+        ),
+        "selected": probed["selected"],
+        "scheme": "hld-fixed",
+        "n": gate_n,
+        "tiers": tiers_json,
+        "native_speedup": native_speedup,
+        "required_speedup": 5.0,
+        "pass": None if native_speedup is None else native_speedup >= 5.0,
+    }
+
+
+def run_perf_json(
+    smoke: bool = False,
+    out: str | None = None,
+    warm: bool = False,
+    backend: str | None = None,
+) -> dict:
     """Measure batched query throughput and write ``BENCH_query_time.json``.
 
     Records ops/sec per scheme and size, and the headline gate: packed
     ``QueryEngine.batch_query`` vs the pre-packing string-backed pipeline
     (``perf_common.reference_batch_query_hld``) on an HLD store with n=4096
-    and 10k random pairs (smoke mode shrinks both for CI).
+    and 10k random pairs (smoke mode shrinks both for CI).  ``backend``
+    forces a :mod:`repro.kernels` tier for the whole run (the ``--backend``
+    flag); the tier actually answering each row rides along in the row.
 
     ``warm=True`` adds the steady-state section: the same batch on an engine
     whose parsed-label LRU is already populated (every lookup a cache hit —
@@ -191,6 +274,13 @@ def run_perf_json(smoke: bool = False, out: str | None = None, warm: bool = Fals
     after the first touch), under both uniform and Zipf-skewed workloads,
     next to the cold fresh-engine number.
     """
+    from repro import kernels
+
+    if backend is not None:
+        os.environ[kernels.ENV_VAR] = backend
+    kernels.reset()
+    active = kernels.backend()
+
     table_sizes = [128] if smoke else [512, 2048]
     table_pairs = 256 if smoke else 2048
     gate_n = 512 if smoke else 4096
@@ -214,6 +304,7 @@ def run_perf_json(smoke: bool = False, out: str | None = None, warm: bool = Fals
                 "batch_query_ops_per_sec": round(len(pairs) / elapsed, 1),
                 "pairs": len(pairs),
                 "max_label_bits": store.max_label_bits,
+                "backend": active.tier_for(scheme),
             }
 
     # the gate: packed vs reference on the HLD store
@@ -234,7 +325,9 @@ def run_perf_json(smoke: bool = False, out: str | None = None, warm: bool = Fals
     payload = {
         "benchmark": "query_time",
         "mode": "smoke" if smoke else "full",
+        "backend": active.name,
         "schemes": schemes_json,
+        "kernel": _measure_kernel_section(gate_n, gate_pairs, repeats),
         "gate": {
             "description": (
                 "QueryEngine.batch_query on an HLD store vs the pre-PR "
@@ -249,6 +342,7 @@ def run_perf_json(smoke: bool = False, out: str | None = None, warm: bool = Fals
             "speedup": round(reference_time / packed_time, 2),
             "required_speedup": 5.0,
             "pass": reference_time / packed_time >= 5.0,
+            "backend": active.tier_for(scheme),
         },
     }
     if warm:
@@ -278,6 +372,7 @@ def run_perf_json(smoke: bool = False, out: str | None = None, warm: bool = Fals
                 warm_json[scheme_name][workload] = {
                     "n": gate_n,
                     "pairs": gate_pairs,
+                    "backend": active.tier_for(scheme),
                     "cold_ops_per_sec": round(gate_pairs / cold_time, 1),
                     "warm_ops_per_sec": round(gate_pairs / warm_time, 1),
                     "warm_speedup": round(cold_time / warm_time, 2),
@@ -306,5 +401,18 @@ if __name__ == "__main__":
         action="store_true",
         help="also record steady-state warm-cache serving throughput",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["native", "numpy", "python"],
+        default=None,
+        help="force one repro.kernels tier for the whole run "
+        "(default: automatic selection; the per-tier kernel section "
+        "measures all available tiers regardless)",
+    )
     arguments = parser.parse_args()
-    run_perf_json(smoke=arguments.smoke, out=arguments.out, warm=arguments.warm)
+    run_perf_json(
+        smoke=arguments.smoke,
+        out=arguments.out,
+        warm=arguments.warm,
+        backend=arguments.backend,
+    )

@@ -1,10 +1,40 @@
-"""Setuptools shim.
+"""Setuptools shim plus a best-effort native kernel build.
 
 The project metadata lives in ``pyproject.toml``; this file exists so that
 ``pip install -e .`` also works in offline environments whose pip cannot
-build PEP 517 editable wheels (no ``wheel`` package available).
+build PEP 517 editable wheels (no ``wheel`` package available), and so an
+install attempts to compile the :mod:`repro.kernels` native extension
+(``src/repro/kernels/_kernels.c``) up front.  The build is strictly
+best-effort: no compiler, no cffi, or any compile error leaves a pure-Python
+install — ``repro.kernels`` probes again at first use and degrades
+gracefully, so failure here is logged and swallowed, never fatal.
 """
 
-from setuptools import setup
+import sys
 
-setup()
+from setuptools import setup
+from setuptools.command.build_py import build_py
+
+
+class build_py_with_kernels(build_py):
+    """Standard build_py, then try to compile the native kernel library."""
+
+    def run(self):
+        super().run()
+        try:
+            sys.path.insert(0, "src")
+            from repro.kernels.native import ensure_built
+
+            path = ensure_built()
+            print(f"repro.kernels: native extension built at {path}")
+        except Exception as error:  # pragma: no cover - environment dependent
+            print(
+                "repro.kernels: native extension not built "
+                f"({error}); pure-Python tiers will serve",
+            )
+        finally:
+            if sys.path and sys.path[0] == "src":
+                sys.path.pop(0)
+
+
+setup(cmdclass={"build_py": build_py_with_kernels})

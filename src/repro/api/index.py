@@ -186,8 +186,17 @@ class DistanceIndex:
         network server's INFO message is built from it.  When the hot-pair
         response cache is enabled its hit rate rides along, so a serving
         operator can read cache effectiveness from INFO/``describe`` alone.
+        ``kernel`` names the :mod:`repro.kernels` tier answering this
+        index's batched queries.
         """
-        row = {"spec": self.spec, "kind": self.kind, "n": self.n}
+        from repro import kernels
+
+        row = {
+            "spec": self.spec,
+            "kind": self.kind,
+            "n": self.n,
+            "kernel": kernels.backend().tier_for(self._engine.scheme),
+        }
         pair_cache = self._engine.pair_cache_info()
         if pair_cache["enabled"]:
             row["pair_cache"] = pair_cache

@@ -164,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_size_options(store_bench)
 
+    kernels = commands.add_parser(
+        "kernels", help="probe the native/numpy/python kernel tiers"
+    )
+    kernels.add_argument(
+        "--build", action="store_true",
+        help="compile the native extension before probing (errors are shown "
+        "instead of silently degrading to the next tier)",
+    )
+
     serve = commands.add_parser(
         "serve", help="serve an index or catalog file over TCP"
     )
@@ -270,6 +279,31 @@ def _build_index(args):
     spec = _resolve_scheme(args)
     tree = make_tree(args.family, args.n, args.seed)
     return spec, tree, DistanceIndex.build(tree, spec)
+
+
+def _kernels(args) -> str:
+    """Probe diagnostics for the tiered decode/distance kernels."""
+    from repro import kernels
+
+    lines = []
+    if args.build:
+        from repro.kernels.native import ensure_built
+
+        lines.append(f"built {ensure_built(verbose=True)}")
+        kernels.reset()
+    probed = kernels.probe(full=True)
+    lines.append(f"selected: {probed['selected']}")
+    if probed["requested"]:
+        lines.append(f"requested: {probed['requested']} (via {probed['env_var']})")
+    if probed["note"]:
+        lines.append(f"note: {probed['note']}")
+    for tier in kernels.TIER_ORDER:
+        info = probed["tiers"][tier]
+        status = {True: "available", False: "unavailable", None: "not probed"}[
+            info["available"]
+        ]
+        lines.append(f"  {tier:<7} {status:<12} {info['detail']}")
+    return "\n".join(lines)
 
 
 def _encode(args) -> str:
@@ -592,7 +626,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "demo":
         print(_demo(args.family, args.n, args.seed))
         return 0
-    elif args.command in ("encode", "query", "catalog", "serve", "loadgen"):
+    elif args.command in ("encode", "query", "catalog", "serve", "loadgen", "kernels"):
         from repro.api import CatalogError, SpecError
         from repro.store import StoreError
 
@@ -602,6 +636,7 @@ def main(argv: list[str] | None = None) -> int:
             "catalog": _catalog,
             "serve": _serve,
             "loadgen": _loadgen,
+            "kernels": _kernels,
         }
         try:
             print(handlers[args.command](args))

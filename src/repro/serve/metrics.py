@@ -70,6 +70,11 @@ def merge_fleet_stats(stats_list: list[dict]) -> dict:
         if merged["flushes"]
         else 0.0
     )
+    # kernel tier per worker; normally uniform across a fleet, but a mixed
+    # deployment (one worker degraded to python) is worth surfacing as-is
+    tiers = sorted({stats["kernel"] for stats in workers if stats.get("kernel")})
+    if tiers:
+        merged["kernel"] = tiers[0] if len(tiers) == 1 else ",".join(tiers)
 
     # fleet latency: concatenate the per-worker reservoirs, then estimate
     reservoir: list[float] = []

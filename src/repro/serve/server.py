@@ -51,6 +51,7 @@ import os
 import time
 from collections import deque
 
+from repro import kernels
 from repro.api.catalog import CatalogError, IndexCatalog
 from repro.api.index import DistanceIndex
 from repro.serve import protocol
@@ -222,6 +223,7 @@ class ServingCore:
             "connections_open": self.connections_open,
             "connections_total": self.connections_total,
             "qps": round(answered / elapsed, 1),
+            "kernel": kernels.backend_name(),
             "latency_ms": {
                 "p50": round(percentile(samples, 0.50) * 1000, 4),
                 "p99": round(percentile(samples, 0.99) * 1000, 4),

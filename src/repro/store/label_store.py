@@ -232,10 +232,23 @@ class LabelStore:
             params = json.loads(data[pos : pos + params_len].decode("utf-8"))
             pos += params_len
             n, pos = decode_uvarint(data, pos)
-            bit_lengths = []
-            for _ in range(n):
-                bits, pos = decode_uvarint(data, pos)
-                bit_lengths.append(bits)
+            bit_lengths = None
+            if n >= 256:
+                # bulk index decode through the native kernel tier when it
+                # is loaded; a decline (unavailable, or a stream the C side
+                # refuses) falls back to the Python loop, which raises the
+                # proper error for genuinely corrupt input
+                from repro import kernels
+
+                decoded = kernels.backend().varint_many(data, pos, n)
+                if decoded is not None:
+                    values, pos = decoded
+                    bit_lengths = list(values)
+            if bit_lengths is None:
+                bit_lengths = []
+                for _ in range(n):
+                    bits, pos = decode_uvarint(data, pos)
+                    bit_lengths.append(bits)
         except ValueError as error:
             raise StoreError(f"corrupt store header: {error}") from error
         payload = data[pos:]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
+from repro import kernels
 from repro.store.label_store import LabelStore
 
 #: cache-miss sentinel: one ``dict.get`` resolves hit-or-miss without a
@@ -157,6 +158,13 @@ class QueryEngine:
         With the hot-pair cache enabled, cached pairs are answered without
         touching the label layer at all and only the remaining pairs go
         through the batched parse.
+
+        Large batches route through the active kernel backend
+        (:mod:`repro.kernels`) when it supports the scheme: the parse/cache
+        bookkeeping above is identical either way (so counters, warming and
+        eviction match the packed-Python path exactly), only the per-pair
+        query loop is fused.  A backend that declines (``None``) falls
+        through to the Python loop.
         """
         pairs = list(pairs)
         if not pairs:
@@ -165,6 +173,11 @@ class QueryEngine:
             return self._batch_query_cached(pairs)
         us, vs = zip(*pairs)
         parsed = self._parse_batch(us + vs)
+        backend = kernels.backend()
+        if len(pairs) >= backend.min_batch:
+            fused = backend.batch_query(self.store, self.scheme, pairs, parsed=parsed)
+            if fused is not None:
+                return fused
         query = self.scheme.query
         return [query(parsed[u], parsed[v]) for u, v in pairs]
 
@@ -204,9 +217,19 @@ class QueryEngine:
             self.pair_misses += len(missing)
             us, vs = zip(*missing)
             parsed = self._parse_batch(us + vs)
-            query = self.scheme.query
-            for key in missing:
-                answered[key] = query(parsed[key[0]], parsed[key[1]])
+            backend = kernels.backend()
+            fused = (
+                backend.batch_query(self.store, self.scheme, missing, parsed=parsed)
+                if len(missing) >= backend.min_batch
+                else None
+            )
+            if fused is not None:
+                for key, answer in zip(missing, fused):
+                    answered[key] = answer
+            else:
+                query = self.scheme.query
+                for key in missing:
+                    answered[key] = query(parsed[key[0]], parsed[key[1]])
             pair_cache.update((key, answered[key]) for key in missing)
             overflow = len(pair_cache) - self._pair_cache_size
             if overflow > 0:
@@ -267,6 +290,14 @@ class QueryEngine:
         if not assume_symmetric:
             return [[query(a, b) for b in parsed] for a in parsed]
         size = len(parsed)
+        if size >= 2:
+            # fused O(n²) fill; the parse/cache bookkeeping above already
+            # matched the Python path, so only the loop below is replaced
+            flat = kernels.backend().matrix_flat(
+                self.store, self.scheme, targets, labels=parsed
+            )
+            if flat is not None:
+                return [flat[row * size : (row + 1) * size] for row in range(size)]
         matrix: list[list] = [[0] * size for _ in range(size)]
         for i in range(size):
             label_i = parsed[i]
@@ -298,6 +329,19 @@ class QueryEngine:
         cache.
         """
         targets = list(range(self.store.n)) if nodes is None else list(nodes)
+        if assume_symmetric and len(targets) >= 2:
+            # fused kernel fill: reads only the immutable store (not even
+            # the cache), so the never-mutates contract holds trivially; a
+            # backend that declines falls through to the Python path (which
+            # also raises the proper error for out-of-range targets)
+            flat_fused = kernels.backend().matrix_flat(
+                self.store, self.scheme, targets
+            )
+            if flat_fused is not None:
+                if out is None:
+                    return list(flat_fused)
+                out.extend(flat_fused)
+                return out
         cache_get = self._cache.get
         # one cache lookup per distinct node: the event loop may evict
         # entries concurrently, so a second lookup could miss where the
@@ -372,7 +416,11 @@ class QueryEngine:
         ``hit_rate`` is the lifetime fraction of lookups served from the
         cache (0.0 before any lookup) — the steady-state serving signal the
         network server reports per member and the warm-cache benchmark
-        records.
+        records.  ``backend`` is the kernel tier answering this engine's
+        batched queries (``native``/``numpy``/``python``; see
+        :mod:`repro.kernels`) — per scheme, so an engine whose scheme has no
+        native kernel honestly reports ``python`` even when the native tier
+        is loaded.
         """
         lookups = self.cache_hits + self.cache_misses
         info = {
@@ -381,6 +429,7 @@ class QueryEngine:
             "hit_rate": round(self.cache_hits / lookups, 4) if lookups else 0.0,
             "size": len(self._cache),
             "max_size": self._cache_size,
+            "backend": kernels.backend().tier_for(self.scheme),
         }
         if self._pair_cache_size:
             info["pair_cache"] = self.pair_cache_info()

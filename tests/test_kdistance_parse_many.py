@@ -1,0 +1,90 @@
+"""Differential tests for the k-distance word-level ``parse_many`` override.
+
+``KDistanceScheme.parse_many`` decodes labels straight from the store's
+packed words (no ``BitReader``, no intermediate ``MonotoneSequence``
+objects); these tests pin it field-for-field against the generic
+``LabelingScheme.parse_many`` route, which goes through
+``KDistanceLabel.from_bits`` — the same contract
+``tests/test_freedman_parse_many.py`` and ``tests/test_alstrup_parse_many.py``
+enforce for the other word decoders.  Both the compact (``k < log n``,
+Lemma 4.5 tables present) and simple regimes are exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.base import LabelingScheme
+from repro.core.kdistance import KDistanceScheme, _parse_word
+from repro.generators.workloads import make_tree, random_pairs
+from repro.oracles.exact_oracle import TreeDistanceOracle
+from repro.store import LabelStore, QueryEngine
+from repro.testing import parent_array_trees
+
+
+def _assert_same_labels(scheme: KDistanceScheme, store: LabelStore) -> None:
+    nodes = list(range(store.n))
+    word_level = scheme.parse_many(store, nodes)
+    generic = LabelingScheme.parse_many(scheme, store, nodes)
+    assert set(word_level) == set(generic)
+    for node in nodes:
+        assert word_level[node] == generic[node], f"label of node {node} differs"
+
+
+@pytest.mark.parametrize("family", ["random", "path", "star", "caterpillar", "broom"])
+@pytest.mark.parametrize("k", [2, 16])
+def test_word_level_matches_generic_across_families(family, k):
+    # k=2 lands in the compact regime (position_mod + forward/backward
+    # tables populated), k=16 > log2(120) in the simple regime
+    tree = make_tree(family, 120, seed=11)
+    scheme = KDistanceScheme(k)
+    _assert_same_labels(scheme, LabelStore.encode_tree(scheme, tree))
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=parent_array_trees(max_nodes=40))
+def test_word_level_matches_generic_on_random_trees(tree):
+    scheme = KDistanceScheme(3)
+    _assert_same_labels(scheme, LabelStore.encode_tree(scheme, tree))
+
+
+@pytest.mark.parametrize("mode", ["compact", "simple"])
+def test_parse_word_equals_from_bits_per_label(mode):
+    tree = make_tree("random", 60, seed=19)
+    scheme = KDistanceScheme(4, mode=mode)
+    store = LabelStore.encode_tree(scheme, tree)
+    for node in range(store.n):
+        bits = store.label_bits(node)
+        assert _parse_word(bits.to_int(), len(bits)) == scheme.parse(bits)
+
+
+def test_engine_queries_through_word_parser_match_oracle():
+    tree = make_tree("random", 300, seed=29)
+    scheme = KDistanceScheme(5)
+    engine = QueryEngine.encode_tree(scheme, tree)
+    oracle = TreeDistanceOracle(tree)
+    pairs = random_pairs(tree, 600, seed=31)
+    expected = [
+        d if (d := oracle.distance(u, v)) <= 5 else None for u, v in pairs
+    ]
+    assert engine.batch_query(pairs) == expected
+
+
+def test_word_level_used_by_duck_typed_stores():
+    """A store exposing only ``label_words`` still gets the word decoder."""
+
+    class WordsOnlyStore:
+        def __init__(self, store: LabelStore) -> None:
+            self._store = store
+
+        def label_words(self, nodes):
+            return self._store.label_words(nodes)
+
+    tree = make_tree("random", 80, seed=37)
+    scheme = KDistanceScheme(3)
+    store = LabelStore.encode_tree(scheme, tree)
+    nodes = list(range(store.n))
+    assert scheme.parse_many(WordsOnlyStore(store), nodes) == scheme.parse_many(
+        store, nodes
+    )

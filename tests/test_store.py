@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import kernels
 from repro.analysis.label_stats import measure_store_throughput
 from repro.core.approximate import ApproximateScheme
 from repro.core.freedman import FreedmanScheme
@@ -200,6 +201,7 @@ class TestQueryEngine:
             "hit_rate": 0.0,
             "size": 0,
             "max_size": 4,
+            "backend": kernels.backend().tier_for(engine.scheme),
         }
 
     def test_distance_matrix_matches_oracle(self):
