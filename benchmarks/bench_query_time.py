@@ -28,7 +28,13 @@ from repro.core.hld import HLDScheme
 from repro.core.kdistance import KDistanceScheme
 from repro.core.naive import NaiveListScheme
 from repro.core.separator import SeparatorScheme
-from repro.generators.workloads import make_tree, random_pairs, zipf_pairs
+from repro.generators.workloads import (
+    khop_local_pairs,
+    make_tree,
+    random_pairs,
+    sibling_pairs,
+    zipf_pairs,
+)
 from repro.store import LabelStore, QueryEngine
 
 EXACT_SCHEMES = {
@@ -271,8 +277,8 @@ def run_perf_json(
     ``warm=True`` adds the steady-state section: the same batch on an engine
     whose parsed-label LRU is already populated (every lookup a cache hit —
     what a long-running ``repro-labels serve`` process does on every request
-    after the first touch), under both uniform and Zipf-skewed workloads,
-    next to the cold fresh-engine number.
+    after the first touch), under uniform, Zipf-skewed and the structural
+    sibling/khop workloads, next to the cold fresh-engine number.
     """
     from repro import kernels
 
@@ -355,6 +361,10 @@ def run_perf_json(
             for workload, pairs in (
                 ("uniform", random_pairs(tree, gate_pairs, seed=13)),
                 ("zipf", zipf_pairs(tree, gate_pairs, skew=1.1, seed=13)),
+                # structural shapes: adversarial same-parent pairs and
+                # walk-local pairs (repro.generators.workloads)
+                ("sibling", sibling_pairs(tree, gate_pairs, seed=13)),
+                ("khop", khop_local_pairs(tree, gate_pairs, hops=4, seed=13)),
             ):
                 cold_time, _ = perf_common.best_of(
                     lambda: QueryEngine(store, scheme=scheme).batch_query(pairs),

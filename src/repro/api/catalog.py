@@ -288,14 +288,19 @@ class IndexCatalog:
 
     @classmethod
     def from_bytes(cls, data) -> "IndexCatalog":
-        """Parse a catalog image; members are opened lazily on first use."""
-        data = bytes(data)
-        entries, base = cls._parse_toc(data)
+        """Parse a catalog image; members are opened lazily on first use.
+
+        ``data`` may be any buffer-protocol object (``bytes``, a
+        ``memoryview``, an ``mmap``); members stay zero-copy sub-views of
+        it, and a member opened from a view is served without ever copying
+        its payload (:meth:`LabelStore.from_bytes` wraps the slice as-is).
+        """
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        entries, base = cls._parse_toc(view)
         catalog = cls()
-        view = memoryview(data)
         for name, offset, nbytes in entries:
             start = base + offset
-            if start + nbytes > len(data):
+            if start + nbytes > len(view):
                 raise CatalogError(f"member {name!r} extends past end of catalog")
             chunk = view[start : start + nbytes]
             catalog._members[name] = _LazyMember(
@@ -306,12 +311,37 @@ class IndexCatalog:
         return catalog
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "IndexCatalog":
+    def open_mmap(cls, path: str | os.PathLike) -> "IndexCatalog":
+        """Open a catalog as one read-only mapping; members are sub-views.
+
+        The container file is mapped once; every member's blob is a
+        zero-copy slice of the mapping, so opening a member parses only its
+        header/index while the payload stays page-cache-backed — N forked
+        workers serving the same catalog share one physical copy of every
+        member.
+        """
+        import mmap
+
+        with open(path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError) as error:
+                raise CatalogError(
+                    f"cannot mmap {os.fspath(path)!r}: {error}"
+                ) from error
+        return cls.from_bytes(memoryview(mapped))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, *, mmap: bool = False) -> "IndexCatalog":
         """Open a catalog file, reading only the TOC now.
 
         Each member's bytes are read from ``path`` (and parsed) the first
         time it is accessed, so opening a huge forest file is cheap.
+        ``mmap=True`` maps the container once instead and serves every
+        member as a zero-copy sub-view (:meth:`open_mmap`).
         """
+        if mmap:
+            return cls.open_mmap(path)
         with open(path, "rb") as handle:
             # the TOC is tiny (a few bytes per member); 64 KiB covers
             # thousands of members, and we retry with the full file if not

@@ -89,10 +89,19 @@ class DistanceIndex:
         *,
         cache_size: int = 4096,
         pair_cache_size: int = 0,
+        mmap: bool = False,
     ) -> "DistanceIndex":
-        """Open an index saved by :meth:`save` (or any ``LabelStore`` file)."""
+        """Open an index saved by :meth:`save` (or any ``LabelStore`` file).
+
+        ``mmap=True`` maps the file read-only instead of reading it into
+        memory: the header/index are parsed once and the payload stays a
+        page-cache-backed view (:meth:`LabelStore.open_mmap`), so N
+        processes opening the same file share one physical copy.  Queries
+        run unchanged — every kernel tier reads straight off the mapping.
+        """
+        store = LabelStore.open_mmap(path) if mmap else LabelStore.load(path)
         return cls.from_store(
-            LabelStore.load(path),
+            store,
             cache_size=cache_size,
             pair_cache_size=pair_cache_size,
         )
@@ -213,6 +222,7 @@ class DistanceIndex:
             "max_label_bits": store.max_label_bits,
             "payload_bytes": store.payload_bytes,
             "file_bytes": store.file_bytes,
+            "mmap": store.mmap_backed,
             "cache": self._engine.cache_info(),
             "pair_cache": self._engine.pair_cache_info(),
         }

@@ -19,12 +19,19 @@ by name::
 registered names); parameters ride in the spec (``approximate:epsilon=0.1``)
 or through the legacy ``--k`` / ``--epsilon`` flags.
 
+Beyond-RAM trees are built with the external-memory pipeline and served
+straight off a read-only memory mapping (:mod:`repro.scale`)::
+
+    repro-labels build --scheme freedman --n 10000000 --streaming --out big.bin
+    repro-labels serve big.bin --mmap --workers 4
+
 The serving workflow puts an index (or a whole catalog) behind a TCP
 endpoint and drives it with synthetic traffic::
 
     repro-labels serve labels.bin --port 7117
     repro-labels serve forest.cat --port 7117 --workers 4 --pair-cache 8192
     repro-labels loadgen --port 7117 --pairs 20000 --workload zipf --skew 1.1
+    repro-labels loadgen --port 7117 --workload sibling --family random
 
 ``serve`` answers the :mod:`repro.serve` wire protocol with micro-batched
 query coalescing (``--no-coalesce`` for the naive baseline); ``--workers N``
@@ -173,6 +180,27 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of silently degrading to the next tier)",
     )
 
+    build = commands.add_parser(
+        "build",
+        help="build a store file, optionally via the external-memory pipeline",
+    )
+    _add_scheme_options(build)
+    _add_tree_options(build)
+    build.add_argument("--out", default="labels.bin")
+    build.add_argument(
+        "--streaming", action="store_true",
+        help="stream labels to disk in fixed-size runs instead of "
+        "materialising the whole store in memory (byte-identical output)",
+    )
+    build.add_argument(
+        "--run-mib", type=int, default=32,
+        help="streaming run buffer in MiB (spill threshold)",
+    )
+    build.add_argument(
+        "--progress", action="store_true",
+        help="print a progress line every ~5%% of nodes (streaming only)",
+    )
+
     serve = commands.add_parser(
         "serve", help="serve an index or catalog file over TCP"
     )
@@ -187,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-size", type=int, default=4096,
         help="parsed-label LRU size (store targets; catalogs use the default)",
+    )
+    serve.add_argument(
+        "--mmap", action="store_true",
+        help="serve the file through a read-only memory mapping instead of "
+        "reading it into the heap; a pre-forked fleet then shares one "
+        "physical copy of the payload via the page cache",
     )
     serve.add_argument(
         "--pair-cache", type=int, default=0,
@@ -215,10 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--name", default="", help="catalog member to query")
     loadgen.add_argument("--pairs", type=int, default=10000)
     loadgen.add_argument(
-        "--workload", default="uniform", help="pair workload: uniform or zipf"
+        "--workload", default="uniform",
+        help="pair workload: uniform, zipf, sibling or khop",
     )
     loadgen.add_argument(
         "--skew", type=float, default=1.0, help="Zipf exponent (zipf workload)"
+    )
+    loadgen.add_argument(
+        "--family", default="random",
+        help="tree family to rebuild locally for the structural workloads "
+        "(sibling/khop) — must match the family the index was encoded from",
+    )
+    loadgen.add_argument(
+        "--tree-seed", type=int, default=0,
+        help="seed the served tree was generated with (structural workloads)",
+    )
+    loadgen.add_argument(
+        "--hops", type=int, default=4, help="walk radius of the khop workload"
     )
     loadgen.add_argument("--connections", type=int, default=4)
     loadgen.add_argument(
@@ -321,6 +368,47 @@ def _encode(args) -> str:
         f"(payload {stats['payload_bytes']} bytes, "
         f"labels {stats['total_label_bits']} bits, "
         f"max label {stats['max_label_bits']} bits)"
+    )
+
+
+def _build(args) -> str:
+    """The ``build`` command: in-memory or streaming store construction."""
+    from repro.core.registry import make_any_scheme, parse_spec
+    from repro.generators.workloads import make_tree
+    from repro.scale import build_store_in_memory, build_store_streaming
+
+    spec = _resolve_scheme(args)
+    name, params = parse_spec(spec)
+    scheme = make_any_scheme(name, **params)
+    tree = make_tree(args.family, args.n, args.seed)
+
+    if args.streaming:
+        progress = None
+        if args.progress:
+            step = max(1, tree.n // 20)
+
+            def progress(done: int, total: int) -> None:
+                if done % step < 65536 or done == total:
+                    print(f"  encoded {done}/{total} labels", flush=True)
+
+        stats = build_store_streaming(
+            scheme,
+            tree,
+            args.out,
+            run_bytes=args.run_mib << 20,
+            progress=progress,
+        )
+        pipeline = f"streaming ({stats['runs_spilled']} run(s) spilled)"
+    else:
+        stats = build_store_in_memory(scheme, tree, args.out)
+        pipeline = "in-memory"
+    peak_mib = stats["peak_rss_bytes"] / (1 << 20)
+    return (
+        f"built family={args.family} n={stats['n']} scheme={spec} [{pipeline}]\n"
+        f"wrote {args.out}: {stats['file_bytes']} bytes "
+        f"(payload {stats['payload_bytes']} bytes, "
+        f"{8 * stats['payload_bytes'] / stats['n']:.1f} bits/node) "
+        f"in {stats['seconds']:.2f}s, peak rss {peak_mib:.1f} MiB"
     )
 
 
@@ -442,7 +530,7 @@ def _serve_single(args, server_config: dict) -> str:
     from repro.serve import LabelServer
     from repro.serve.supervisor import open_serve_target
 
-    target, description = open_serve_target(args.target, args.cache_size)
+    target, description = open_serve_target(args.target, args.cache_size, args.mmap)
     server = LabelServer(target, **server_config)
 
     async def run() -> None:
@@ -492,6 +580,7 @@ def _serve_fleet(args, server_config: dict) -> str:
         host=args.host,
         port=args.port,
         cache_size=args.cache_size,
+        use_mmap=args.mmap,
         **server_config,
     )
     host, port = supervisor.start()
@@ -567,6 +656,9 @@ def _loadgen(args) -> str:
         window=args.window,
         mode=args.mode,
         seed=args.seed,
+        family=args.family,
+        tree_seed=args.tree_seed,
+        hops=args.hops,
     )
     server = report["server"]
     latency = server["latency_ms"]
@@ -626,12 +718,15 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "demo":
         print(_demo(args.family, args.n, args.seed))
         return 0
-    elif args.command in ("encode", "query", "catalog", "serve", "loadgen", "kernels"):
+    elif args.command in (
+        "encode", "build", "query", "catalog", "serve", "loadgen", "kernels"
+    ):
         from repro.api import CatalogError, SpecError
         from repro.store import StoreError
 
         handlers = {
             "encode": _encode,
+            "build": _build,
             "query": _query,
             "catalog": _catalog,
             "serve": _serve,

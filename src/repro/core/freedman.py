@@ -31,7 +31,9 @@ benchmarks quantify each ingredient's contribution to the label size
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.base import DistanceLabelingScheme
 from repro.encoding.alphabetic import common_codeword_prefix
@@ -47,6 +49,24 @@ from repro.trees.tree import RootedTree
 #: a hanging subtree is *thin* when it is at most 1/2^8 of the subtree rooted
 #: at its branch node (Lemma 3.4)
 THIN_FACTOR = 256
+
+_EMPTY_BITS = Bits("")
+
+
+class _Entries(NamedTuple):
+    """Packed Section 3.2 entry rows, indexed by collapsed path id.
+
+    ``accumulator[p]`` is the *full* accumulator of parent path ``p``; a
+    child's prefix (what its dominating siblings pushed before its turn) is
+    ``accumulator[parent][:prefix_length[child]]``.
+    """
+
+    skip: bytearray
+    kept_value: array
+    kept_length: array
+    pushed: array
+    prefix_length: array
+    accumulator: list
 
 
 @dataclass
@@ -342,6 +362,17 @@ class FreedmanScheme(DistanceLabelingScheme):
     # -- encoding ------------------------------------------------------------
 
     def encode(self, tree: RootedTree) -> dict[int, FreedmanLabel]:
+        return dict(enumerate(self.encode_stream(tree)))
+
+    def encode_stream(self, tree: RootedTree):
+        """Yield each original node's label in node order, one at a time.
+
+        All of Section 3's shared structure (transform, decomposition,
+        collapsed tree, light codes, fragments, entries) is computed once;
+        each label is then an independent :meth:`_assemble_label` over the
+        node's pendant leaf, so a streaming consumer
+        (:mod:`repro.scale.build`) never materialises the full label dict.
+        """
         transform = prepare_for_leaf_queries(tree, binarize_tree=self._binarize)
         working = transform.tree
         decomposition = HeavyPathDecomposition(working, variant="paper")
@@ -351,32 +382,39 @@ class FreedmanScheme(DistanceLabelingScheme):
         boundaries, fragment_ref, entry_value = self._compute_fragments(
             working, collapsed
         )
-        per_path = self._compute_entries(working, collapsed, entry_value)
+        entries = self._compute_entries(working, collapsed, entry_value)
 
-        labels: dict[int, FreedmanLabel] = {}
-        for original, leaf in transform.query_node.items():
-            labels[original] = self._assemble_label(
+        query_node = transform.query_node
+        for original in range(tree.n):
+            yield self._assemble_label(
                 original,
-                leaf,
+                query_node[original],
                 working,
                 collapsed,
                 light,
                 boundaries,
                 fragment_ref,
-                per_path,
+                entries,
             )
-        return labels
 
     def _compute_fragments(
         self, working: RootedTree, collapsed: CollapsedTree
-    ) -> tuple[dict[int, tuple[int, ...]], dict[int, int], dict[int, int]]:
-        """Fragment boundaries along every collapsed root path (Section 3.3)."""
+    ) -> tuple[list, "array", "array"]:
+        """Fragment boundaries along every collapsed root path (Section 3.3).
+
+        Rows are indexed by collapsed path id: ``boundaries`` is a list of
+        (widely shared) boundary tuples, ``fragment_ref`` and
+        ``entry_value`` are packed arrays — a dict entry per path costs an
+        order of magnitude more, which the 10⁷-node streaming builds of
+        :mod:`repro.scale` cannot afford.
+        """
         n = working.n
         block = max(1, math.ceil(math.sqrt(max(1.0, math.log2(max(n, 2))))))
 
-        boundaries: dict[int, tuple[int, ...]] = {}
-        fragment_ref: dict[int, int] = {}
-        entry_value: dict[int, int] = {}
+        path_count = len(collapsed)
+        boundaries: list = [None] * path_count
+        fragment_ref = array("i", bytes(4 * path_count))
+        entry_value = array("q", bytes(8 * path_count))
 
         root_path = collapsed.root
         boundaries[root_path] = (working.root_distance(collapsed.head(root_path)),)
@@ -407,25 +445,38 @@ class FreedmanScheme(DistanceLabelingScheme):
         self,
         working: RootedTree,
         collapsed: CollapsedTree,
-        entry_value: dict[int, int],
-    ) -> dict[int, tuple[bool, Bits, int, Bits]]:
-        """Per hanging subtree: (skip, kept bits, pushed count, accumulator prefix)."""
-        per_path: dict[int, tuple[bool, Bits, int, Bits]] = {}
+        entry_value,
+    ) -> "_Entries":
+        """Per hanging subtree: (skip, kept bits, pushed count, accumulator prefix).
+
+        Stored as packed per-path rows plus one *full* accumulator per
+        parent path; a child's prefix is the accumulator's first
+        ``prefix_length`` bits, sliced on demand during label assembly
+        instead of materialising a ``Bits`` snapshot per sibling.
+        """
+        path_count = len(collapsed)
+        skip = bytearray(path_count)
+        kept_value = array("q", bytes(8 * path_count))
+        kept_length = array("h", bytes(2 * path_count))
+        pushed_row = array("i", bytes(4 * path_count))
+        prefix_length = array("i", bytes(4 * path_count))
+        accumulator: list = [None] * path_count
         total_pushed = 0
         fat = 0
         thin = 0
         skipped = 0
 
-        for parent_path in range(len(collapsed)):
+        for parent_path in range(path_count):
             children = collapsed.children(parent_path)
             if not children:
                 continue
             accumulated = BitWriter()
+            accumulated_bits = 0
             last_index = len(children) - 1
             for index, child in enumerate(children):
-                prefix = accumulated.getvalue()
+                prefix_length[child] = accumulated_bits
                 if index == last_index:
-                    per_path[child] = (True, Bits(""), 0, prefix)
+                    skip[child] = 1
                     skipped += 1
                     continue
                 value = entry_value[child]
@@ -437,24 +488,23 @@ class FreedmanScheme(DistanceLabelingScheme):
                 branch_size = working.subtree_size(branch)
                 is_thin = hanging_size * THIN_FACTOR <= branch_size
                 if is_thin or not self._use_accumulators:
-                    kept_length = full_bits
+                    length = full_bits
                     thin += 1 if is_thin else 0
                 else:
                     fat += 1
                     slack = 0.5 * math.log2(branch_size / hanging_size) * math.log2(
                         max(branch_size, 2)
                     )
-                    kept_length = min(full_bits, int(math.ceil(slack)) + 1)
-                pushed = full_bits - kept_length
-                kept_bits = (
-                    Bits.from_int(value >> pushed, kept_length)
-                    if kept_length
-                    else Bits("")
-                )
-                per_path[child] = (False, kept_bits, pushed, prefix)
+                    length = min(full_bits, int(math.ceil(slack)) + 1)
+                pushed = full_bits - length
+                kept_value[child] = value >> pushed
+                kept_length[child] = length
+                pushed_row[child] = pushed
                 if pushed:
                     accumulated.write_int(value & ((1 << pushed) - 1), pushed)
+                    accumulated_bits += pushed
                     total_pushed += pushed
+            accumulator[parent_path] = accumulated.getvalue()
 
         self.encoding_stats = {
             "pushed_bits": total_pushed,
@@ -462,7 +512,9 @@ class FreedmanScheme(DistanceLabelingScheme):
             "thin_subtrees": thin,
             "skipped_entries": skipped,
         }
-        return per_path
+        return _Entries(
+            skip, kept_value, kept_length, pushed_row, prefix_length, accumulator
+        )
 
     def _assemble_label(
         self,
@@ -471,9 +523,9 @@ class FreedmanScheme(DistanceLabelingScheme):
         working: RootedTree,
         collapsed: CollapsedTree,
         light: LightDepthLabeling,
-        boundaries: dict[int, tuple[int, ...]],
-        fragment_ref: dict[int, int],
-        per_path: dict[int, tuple[bool, Bits, int, Bits]],
+        boundaries: list,
+        fragment_ref,
+        entries: _Entries,
     ) -> FreedmanLabel:
         sequence = collapsed.root_path_sequence(leaf)
         own_path = sequence[-1]
@@ -486,14 +538,27 @@ class FreedmanScheme(DistanceLabelingScheme):
         entry_pushed: list[int] = []
         accumulators: list[Bits] = []
 
-        for path in sequence[1:]:
-            skip, kept, pushed, accumulator = per_path[path]
+        for level, path in enumerate(sequence[1:]):
+            parent_path = sequence[level]
+            skip = bool(entries.skip[path])
+            prefix = entries.accumulator[parent_path][: entries.prefix_length[path]]
+            if skip:
+                kept = _EMPTY_BITS
+                pushed = 0
+            else:
+                length = entries.kept_length[path]
+                kept = (
+                    Bits.from_int(entries.kept_value[path], length)
+                    if length
+                    else _EMPTY_BITS
+                )
+                pushed = entries.pushed[path]
             light_weights.append(collapsed.light_edge_weight(path))
             fragment_refs.append(fragment_ref[path])
             entry_skip.append(skip)
             entry_kept.append(kept)
             entry_pushed.append(pushed)
-            accumulators.append(accumulator)
+            accumulators.append(prefix)
 
         return FreedmanLabel(
             node_id=original,

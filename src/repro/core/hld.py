@@ -243,13 +243,22 @@ class HLDScheme(DistanceLabelingScheme):
             self.query = self.distance
 
     def encode(self, tree: RootedTree) -> dict[int, HLDLabel]:
+        return dict(enumerate(self.encode_stream(tree)))
+
+    def encode_stream(self, tree: RootedTree):
+        """Yield each node's label in node order, one at a time.
+
+        The decomposition/collapsed-tree precompute is shared; each label
+        is an independent assembly over the node's root-path sequence, so a
+        streaming consumer (:mod:`repro.scale.build`) holds one label at a
+        time instead of the whole ``dict``.
+        """
         decomposition = HeavyPathDecomposition(tree, variant=self._variant)
         collapsed = CollapsedTree(decomposition)
         id_width = max(1, (tree.n - 1).bit_length())
         max_distance = max(tree.root_distance(v) for v in tree.nodes())
         distance_width = max(1, max_distance.bit_length())
 
-        labels: dict[int, HLDLabel] = {}
         for node in tree.nodes():
             sequence = collapsed.root_path_sequence(node)
             path_ids: list[int] = []
@@ -261,14 +270,13 @@ class HLDScheme(DistanceLabelingScheme):
                     exits.append(tree.root_distance(branch))
                 else:
                     exits.append(tree.root_distance(node))
-            labels[node] = HLDLabel(
+            yield HLDLabel(
                 root_distance=tree.root_distance(node),
                 path_ids=path_ids,
                 exits=exits,
                 id_width=id_width,
                 distance_width=distance_width,
             )
-        return labels
 
     def distance(self, label_u: HLDLabel, label_v: HLDLabel) -> int:
         id_width = label_u.id_width

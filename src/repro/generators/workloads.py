@@ -96,17 +96,98 @@ def zipf_pairs(
     return list(zip(endpoints[:count], endpoints[count:]))
 
 
+def _require_tree(n_or_tree: int | RootedTree, workload: str) -> RootedTree:
+    """The structural workloads need the tree, not just its node count."""
+    if isinstance(n_or_tree, RootedTree):
+        return n_or_tree
+    raise ValueError(
+        f"the {workload!r} workload needs the tree itself, not just its node "
+        f"count; rebuild it first (loadgen: pass --family/--tree-seed)"
+    )
+
+
+def sibling_pairs(
+    tree: int | RootedTree, count: int, seed: int | random.Random | None = 0
+) -> list[tuple[int, int]]:
+    """Adversarial same-parent pairs: both endpoints share their parent.
+
+    Sibling pairs are the worst case for ancestry-shortcut decoders — the
+    nearest common ancestor is one edge away from *both* endpoints, so every
+    scheme must walk to the very bottom of its label before the distance
+    resolves, and no hub/border entry is shared early.  Parents are drawn
+    uniformly among nodes with at least two children; degenerate trees
+    without any siblings (paths) top up with parent-child pairs, the closest
+    structural analogue.
+    """
+    tree = _require_tree(tree, "sibling")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    broods = [
+        children
+        for node in tree.nodes()
+        if len(children := list(tree.children(node))) >= 2
+    ]
+    pairs: list[tuple[int, int]] = []
+    if broods:
+        for _ in range(count):
+            brood = rng.choice(broods)
+            u, v = rng.sample(brood, 2)
+            pairs.append((u, v))
+        return pairs
+    while len(pairs) < count:
+        v = rng.randrange(tree.n)
+        parent = tree.parent(v)
+        pairs.append((v, v) if parent is None else (parent, v))
+    return pairs
+
+
+def khop_local_pairs(
+    tree: int | RootedTree,
+    count: int,
+    hops: int = 4,
+    seed: int | random.Random | None = 0,
+) -> list[tuple[int, int]]:
+    """Locality workload: the second endpoint is a ``<= hops`` random walk away.
+
+    Models neighbourhood-heavy traffic (social ego-nets, filesystem
+    subtrees): nearly every query resolves within a small radius, which
+    exercises the short-distance fast paths and keeps k-distance schemes
+    inside their bound.  Unlike :func:`near_pairs` no distance oracle is
+    built, so it scales to the beyond-RAM trees ``bench_scale`` queries.
+    """
+    tree = _require_tree(tree, "khop")
+    if hops < 1:
+        raise ValueError("hops must be at least 1")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    pairs: list[tuple[int, int]] = []
+    for _ in range(count):
+        u = rng.randrange(tree.n)
+        v = u
+        for _ in range(rng.randint(1, hops)):
+            neighbours = list(tree.children(v))
+            parent = tree.parent(v)
+            if parent is not None:
+                neighbours.append(parent)
+            if not neighbours:  # pragma: no cover - single-node tree
+                break
+            v = rng.choice(neighbours)
+        pairs.append((u, v))
+    return pairs
+
+
 #: serving workload registry: name -> generator(n_or_tree, count, seed, **params)
+#: ``sibling`` and ``khop`` are structural and require the tree, not a count
 WORKLOADS: dict[str, Callable[..., list[tuple[int, int]]]] = {
     "uniform": uniform_pairs,
     "zipf": zipf_pairs,
+    "sibling": sibling_pairs,
+    "khop": khop_local_pairs,
 }
 
 
 def pair_workload(
     kind: str, n: int | RootedTree, count: int, seed: int = 0, **params
 ) -> list[tuple[int, int]]:
-    """Generate a named pair workload (``"uniform"`` or ``"zipf"``)."""
+    """Generate a named pair workload (see :data:`WORKLOADS` for the names)."""
     if kind not in WORKLOADS:
         raise KeyError(f"unknown workload {kind!r}; known: {sorted(WORKLOADS)}")
     return WORKLOADS[kind](n, count, seed=seed, **params)

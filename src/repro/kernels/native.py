@@ -230,7 +230,14 @@ class NativeBackend:
     # -- store marshalling ---------------------------------------------------
 
     def _store_arrays(self, store):
-        """Per-store C views of payload/offsets/lengths, built once."""
+        """Per-store C views of payload/offsets/lengths, built once.
+
+        A real :class:`LabelStore` hands out ``array('Q')`` index sequences
+        and a (possibly ``mmap``-backed) payload view — all three are mapped
+        in place with ``ffi.from_buffer``, so the native tier runs straight
+        off the original storage.  Duck-typed stores returning plain lists
+        fall back to a one-time ``ffi.new`` copy.
+        """
         cached = getattr(store, "_repro_kernel_arrays", None)
         if cached is not None:
             return cached
@@ -241,8 +248,17 @@ class NativeBackend:
             if len(view)
             else ffi.new("uint8_t[]", 1)
         )
-        offs = ffi.new("uint64_t[]", offsets)
-        lens = ffi.new("uint64_t[]", lengths if lengths else [0])
+
+        def index_array(sequence):
+            if len(sequence):
+                try:
+                    return ffi.from_buffer("uint64_t[]", sequence)
+                except TypeError:
+                    return ffi.new("uint64_t[]", list(sequence))
+            return ffi.new("uint64_t[]", 1)
+
+        offs = index_array(offsets)
+        lens = index_array(lengths)
         arrays = (payload, offs, lens, len(lengths))
         try:
             store._repro_kernel_arrays = arrays

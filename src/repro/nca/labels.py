@@ -18,6 +18,7 @@ length O(log n) because subtree sizes telescope) plus the postorder
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.encoding.alphabetic import SizeWeightedCode, common_codeword_prefix
@@ -83,8 +84,13 @@ class LightDepthLabeling:
             collapsed = CollapsedTree(HeavyPathDecomposition(tree))
         self._tree = tree
         self._collapsed = collapsed
-        self._codes: dict[int, SizeWeightedCode] = {}
-        self._codeword_of_path: dict[int, Bits] = {}
+        # codewords packed as (value, bit length) array rows indexed by
+        # collapsed path id — 10 bytes per path instead of a dict entry and
+        # a Bits object each (codewords are O(log n) bits, far under the 63
+        # the value word holds; anything longer falls back to a side dict)
+        self._codeword_value = array("q", bytes(8 * len(collapsed)))
+        self._codeword_length = array("h", bytes(2 * len(collapsed)))
+        self._codeword_wide: dict[int, Bits] = {}
         self._build_codes()
 
     def _build_codes(self) -> None:
@@ -96,9 +102,20 @@ class LightDepthLabeling:
                 continue
             weights = [tree.subtree_size(collapsed.head(child)) for child in children]
             code = SizeWeightedCode(weights)
-            self._codes[node] = code
             for index, child in enumerate(children):
-                self._codeword_of_path[child] = code.codeword(index)
+                word = code.codeword(index)
+                if len(word) < 64:
+                    self._codeword_value[child] = word.to_int()
+                    self._codeword_length[child] = len(word)
+                else:
+                    self._codeword_length[child] = -1
+                    self._codeword_wide[child] = word
+
+    def _codeword_of(self, path: int) -> Bits:
+        length = self._codeword_length[path]
+        if length < 0:
+            return self._codeword_wide[path]
+        return Bits.from_int(self._codeword_value[path], length)
 
     @property
     def collapsed(self) -> CollapsedTree:
@@ -108,7 +125,7 @@ class LightDepthLabeling:
     def codewords_for(self, tree_node: int) -> list[Bits]:
         """Per-level codewords identifying ``tree_node``'s collapsed path."""
         sequence = self._collapsed.root_path_sequence(tree_node)
-        return [self._codeword_of_path[path] for path in sequence[1:]]
+        return [self._codeword_of(path) for path in sequence[1:]]
 
     def label(self, tree_node: int) -> LightDepthLabel:
         """Build the label of one node."""

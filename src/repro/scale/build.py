@@ -1,0 +1,208 @@
+"""External-memory store building: encode 10⁷⁺-node trees without the RAM.
+
+The in-memory pipeline (``LabelStore.encode_tree(...).save(path)``)
+materialises every label object, every packed chunk and the joined payload
+at once — three full copies of the artefact before a byte reaches disk.
+:func:`build_store_streaming` produces the **byte-identical** file while
+holding only:
+
+* the scheme's shared precompute plus *one* label at a time
+  (``scheme.encode_stream``, overridden for real streaming by HLD and
+  Freedman);
+* one fixed-size packed run buffer (``run_bytes``, default 32 MiB), spilled
+  to a temp file whenever full;
+* the bit-length index as an ``array('Q')`` — 8 bytes per node, the one
+  piece the file format forces us to keep (every varint length precedes the
+  payload on disk).
+
+The merge step then writes the header + varint index and streams the
+spilled runs into place.  Output equality with ``LabelStore.to_bytes()`` is
+pinned by ``tests/test_scale.py`` and re-checked at scale by
+``benchmarks/bench_scale.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from array import array
+
+from repro.encoding.varint import encode_uvarint
+from repro.scale.memory import current_rss_bytes, peak_rss_bytes
+from repro.store.label_store import STORE_MAGIC, StoreError
+
+#: payload bytes buffered in memory before spilling a run to disk
+DEFAULT_RUN_BYTES = 32 << 20
+
+#: copy buffer for the run merge
+_COPY_CHUNK = 1 << 20
+
+#: varints joined per write while emitting the bit-length index
+_VARINT_BATCH = 1 << 16
+
+
+def write_store_header(handle, scheme_name: str, scheme_params: dict, bit_lengths) -> int:
+    """Write the RLS1 header + varint index to ``handle``; returns the bytes.
+
+    Byte-for-byte the prefix ``LabelStore.to_bytes()`` emits, produced
+    without a store object so the streaming builder can write it from the
+    accumulated index alone.
+    """
+    import json
+
+    name = scheme_name.encode("utf-8")
+    params = json.dumps(scheme_params, sort_keys=True).encode("utf-8")
+    written = handle.write(
+        b"".join(
+            (
+                STORE_MAGIC,
+                encode_uvarint(len(name)),
+                name,
+                encode_uvarint(len(params)),
+                params,
+                encode_uvarint(len(bit_lengths)),
+            )
+        )
+    )
+    batch: list[bytes] = []
+    for bits in bit_lengths:
+        batch.append(encode_uvarint(bits))
+        if len(batch) >= _VARINT_BATCH:
+            written += handle.write(b"".join(batch))
+            batch.clear()
+    if batch:
+        written += handle.write(b"".join(batch))
+    return written
+
+
+def build_store_streaming(
+    scheme,
+    tree,
+    path: str | os.PathLike,
+    *,
+    run_bytes: int = DEFAULT_RUN_BYTES,
+    tmp_dir: str | None = None,
+    progress=None,
+    progress_every: int = 65536,
+) -> dict:
+    """Encode ``tree`` with ``scheme`` straight to the store file at ``path``.
+
+    Labels stream from ``scheme.encode_stream`` in node order; packed bytes
+    accumulate in a ``run_bytes``-sized buffer that spills to temp files
+    (``tmp_dir``, default: alongside ``path``), and the final merge writes
+    the header + varint index followed by the runs — byte-identical to
+    ``LabelStore.encode_tree(scheme, tree).save(path)``.
+
+    ``progress(done, total)`` is called every ``progress_every`` labels and
+    once at the end.  Returns a stats dict: node/byte counts, spilled run
+    count, wall-clock seconds and the process RSS self-check
+    (``peak_rss_bytes`` is the *process* high-water mark — run the builder
+    in a fresh process, as ``benchmarks/bench_scale.py`` does, for a clean
+    comparison against the in-memory pipeline).
+    """
+    if run_bytes < 1 << 16:
+        raise ValueError("run_bytes must be at least 64 KiB")
+    n = tree.n
+    path = os.fspath(path)
+    started = time.perf_counter()
+    rss_before = current_rss_bytes()
+
+    lengths = array("Q")
+    run = bytearray()
+    run_paths: list[str] = []
+    spill_dir = tempfile.mkdtemp(
+        prefix="repro-scale-", dir=tmp_dir or (os.path.dirname(path) or ".")
+    )
+
+    def spill() -> None:
+        descriptor, run_path = tempfile.mkstemp(dir=spill_dir, suffix=".run")
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(run)
+        run_paths.append(run_path)
+        run.clear()
+
+    try:
+        produced = 0
+        for label in scheme.encode_stream(tree):
+            bits = label.to_bits()
+            lengths.append(len(bits))
+            run += bits.to_bytes()
+            if len(run) >= run_bytes:
+                spill()
+            produced += 1
+            if progress is not None and produced % progress_every == 0:
+                progress(produced, n)
+        if produced != n:
+            raise StoreError(
+                f"scheme {scheme.name!r} streamed {produced} labels "
+                f"for a {n}-node tree"
+            )
+
+        with open(path, "wb") as out:
+            header_bytes = write_store_header(
+                out, scheme.name, scheme.params(), lengths
+            )
+            payload_bytes = 0
+            for run_path in run_paths:
+                with open(run_path, "rb") as source:
+                    shutil.copyfileobj(source, out, _COPY_CHUNK)
+                    payload_bytes += source.tell()
+                os.unlink(run_path)
+            if run:
+                payload_bytes += out.write(run)
+                run.clear()
+    finally:
+        shutil.rmtree(spill_dir, ignore_errors=True)
+
+    if progress is not None:
+        progress(n, n)
+    expected_payload = sum((bits + 7) // 8 for bits in lengths)
+    if payload_bytes != expected_payload:
+        raise StoreError(
+            f"streamed payload is {payload_bytes} bytes but the index "
+            f"describes {expected_payload}"
+        )
+    return {
+        "scheme": scheme.name,
+        "n": n,
+        "path": path,
+        "header_bytes": header_bytes,
+        "payload_bytes": payload_bytes,
+        "file_bytes": header_bytes + payload_bytes,
+        "runs_spilled": len(run_paths),
+        "run_bytes": run_bytes,
+        "seconds": round(time.perf_counter() - started, 3),
+        "rss_before_bytes": rss_before,
+        "rss_after_bytes": current_rss_bytes(),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def build_store_in_memory(scheme, tree, path: str | os.PathLike) -> dict:
+    """The materialise-everything baseline, with the same stats shape.
+
+    ``LabelStore.encode_tree(...).save(path)`` — the pipeline the streaming
+    builder is measured against (and the one the CI scale gate proves
+    cannot run under the address-space cap the streaming builder can).
+    """
+    from repro.store.label_store import LabelStore
+
+    path = os.fspath(path)
+    started = time.perf_counter()
+    rss_before = current_rss_bytes()
+    store = LabelStore.encode_tree(scheme, tree)
+    written = store.save(path)
+    return {
+        "scheme": scheme.name,
+        "n": store.n,
+        "path": path,
+        "payload_bytes": store.payload_bytes,
+        "file_bytes": written,
+        "runs_spilled": 0,
+        "seconds": round(time.perf_counter() - started, 3),
+        "rss_before_bytes": rss_before,
+        "rss_after_bytes": current_rss_bytes(),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }

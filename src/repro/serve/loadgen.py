@@ -2,10 +2,16 @@
 
 One entry point, :func:`run_load`, shared by the ``repro-labels loadgen``
 command and ``benchmarks/bench_serve_throughput.py``: generate a named pair
-workload (uniform or Zipf-skewed, :mod:`repro.generators.workloads`), drive
-the server from several pipelined connections, and report client-side
-throughput next to the server's own statistics (coalescer batch sizes,
-latency percentiles, parsed-label and hot-pair cache hit rates).
+workload (:mod:`repro.generators.workloads` — uniform, Zipf-skewed, or the
+structural ``sibling``/``khop`` shapes), drive the server from several
+pipelined connections, and report client-side throughput next to the
+server's own statistics (coalescer batch sizes, latency percentiles,
+parsed-label and hot-pair cache hit rates).
+
+The structural workloads need the tree itself, which the server never
+ships over the wire; ``family``/``tree_seed`` rebuild it locally from the
+generator registry using the node count the server reports in INFO — the
+same ``(family, n, seed)`` triple the index was encoded from.
 
 Against a multi-worker fleet (``repro-labels serve --workers N``) each
 connection lands on some worker, so ``loadgen`` asks **every** connection
@@ -38,6 +44,9 @@ async def _run_load_async(
     window: int,
     mode: str,
     seed: int,
+    family: str,
+    tree_seed: int,
+    hops: int,
 ) -> dict:
     if connections < 1:
         raise ValueError("connections must be at least 1")
@@ -52,8 +61,19 @@ async def _run_load_async(
                 f"no member named {name!r} on the server; members: {sorted(members)}"
             )
         n = members[name]["n"]
-        params = {"skew": skew} if workload == "zipf" else {}
-        work = pair_workload(workload, n, pairs, seed, **params)
+        params = {}
+        target: object = n
+        if workload == "zipf":
+            params = {"skew": skew}
+        elif workload in ("sibling", "khop"):
+            # the server only reports n; rebuild the tree the index came
+            # from so the structural workload can read its shape
+            from repro.generators.workloads import make_tree
+
+            target = make_tree(family, n, tree_seed)
+            if workload == "khop":
+                params = {"hops": hops}
+        work = pair_workload(workload, target, pairs, seed, **params)
         shards = [work[index::connections] for index in range(connections)]
 
         started = time.perf_counter()
@@ -121,15 +141,21 @@ def run_load(
     window: int = 128,
     mode: str = "pipeline",
     seed: int = 0,
+    family: str = "random",
+    tree_seed: int = 0,
+    hops: int = 4,
 ) -> dict:
     """Drive a serve endpoint and return a metrics dict.
 
     ``mode="pipeline"`` issues one QUERY per pair with up to ``window`` in
     flight per connection (the shape that exercises the server's
     micro-batching coalescer); ``mode="batch"`` groups pairs into
-    window-sized BATCH requests instead.  ``report["server"]`` is the
-    fleet-merged STATS view; ``report["workers"]`` counts the distinct
-    workers the connections reached.
+    window-sized BATCH requests instead.  The structural workloads
+    (``sibling``, ``khop``) rebuild the served tree locally from
+    ``family``/``tree_seed`` and the server-reported node count; ``hops``
+    bounds the khop walk.  ``report["server"]`` is the fleet-merged STATS
+    view; ``report["workers"]`` counts the distinct workers the
+    connections reached.
     """
     return asyncio.run(
         _run_load_async(
@@ -143,5 +169,8 @@ def run_load(
             window=window,
             mode=mode,
             seed=seed,
+            family=family,
+            tree_seed=tree_seed,
+            hops=hops,
         )
     )

@@ -54,6 +54,7 @@ from collections import deque
 from repro import kernels
 from repro.api.catalog import CatalogError, IndexCatalog
 from repro.api.index import DistanceIndex
+from repro.scale.memory import current_rss_bytes
 from repro.serve import protocol
 from repro.serve.metrics import percentile
 from repro.store.label_store import StoreError
@@ -223,6 +224,7 @@ class ServingCore:
             "connections_open": self.connections_open,
             "connections_total": self.connections_total,
             "qps": round(answered / elapsed, 1),
+            "rss_bytes": current_rss_bytes(),
             "kernel": kernels.backend_name(),
             "latency_ms": {
                 "p50": round(percentile(samples, 0.50) * 1000, 4),

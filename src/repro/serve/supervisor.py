@@ -41,22 +41,29 @@ _START_TIMEOUT = 60.0
 _STOP_TIMEOUT = 15.0
 
 
-def open_serve_target(path: str, cache_size: int = 4096):
+def open_serve_target(path: str, cache_size: int = 4096, use_mmap: bool = False):
     """``(target, description)`` from a store or catalog file, by magic.
 
     Shared by the CLI ``serve`` command and every supervisor worker (each
     worker re-opens the file in its own process).  Hot-pair cache enabling
     is the server's job, so lazily opened catalog members get it too.
+
+    With ``use_mmap`` the file is opened as a read-only memory mapping
+    instead of being read into the heap — for a pre-forked fleet, N workers
+    mapping the same file share **one** physical copy through the page
+    cache (the per-worker ``rss_bytes`` in STATS makes the sharing
+    visible).
     """
     from repro.api import CATALOG_MAGIC, DistanceIndex, IndexCatalog
 
     with open(path, "rb") as handle:
         magic = handle.read(4)
+    via = "mmap" if use_mmap else "heap"
     if magic == CATALOG_MAGIC:
-        catalog = IndexCatalog.load(path)
-        return catalog, f"catalog {path} ({len(catalog)} member(s))"
-    index = DistanceIndex.open(path, cache_size=cache_size)
-    return index, f"index {path} (scheme={index.spec}, n={index.n})"
+        catalog = IndexCatalog.load(path, mmap=use_mmap)
+        return catalog, f"catalog {path} ({len(catalog)} member(s), {via})"
+    index = DistanceIndex.open(path, cache_size=cache_size, mmap=use_mmap)
+    return index, f"index {path} (scheme={index.spec}, n={index.n}, {via})"
 
 
 def _worker_main(path: str, config: dict, listen, conn) -> None:
@@ -74,7 +81,8 @@ def _worker_main(path: str, config: dict, listen, conn) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
     cache_size = config.pop("cache_size", 4096)
-    target, _ = open_serve_target(path, cache_size)
+    use_mmap = config.pop("use_mmap", False)
+    target, _ = open_serve_target(path, cache_size, use_mmap)
     server = LabelServer(target, **config)
 
     async def main() -> None:
@@ -114,6 +122,7 @@ class FleetSupervisor:
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = 4096,
+        use_mmap: bool = False,
         **server_kwargs,
     ) -> None:
         if workers < 1:
@@ -122,7 +131,7 @@ class FleetSupervisor:
         self.workers = workers
         self.host = host
         self.port = port
-        self._config = dict(server_kwargs, cache_size=cache_size)
+        self._config = dict(server_kwargs, cache_size=cache_size, use_mmap=use_mmap)
         self._processes: list[multiprocessing.Process] = []
         self._conns: list = []
         self._anchor: socket.socket | None = None

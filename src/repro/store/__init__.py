@@ -49,6 +49,29 @@ copying::
 Byte offsets into the payload are reconstructed from ``bit_lens`` at load
 time, so the index costs one varint per label on disk while lookups stay
 O(1) in memory.
+
+mmap safety
+-----------
+
+The format is deliberately **mmap-safe**: nothing in it requires
+materialising the file in anonymous memory.
+
+* every field is byte-aligned (varints, then whole-byte label slots), so
+  labels are plain ``buffer[a:b]`` slices — no bit-level fixups on load;
+* the header and index are a strict *prefix*; after one sequential decode
+  pass the payload is addressed purely by computed offsets, so only the
+  pages a query touches are ever faulted in;
+* labels are read-only after encode — a private (copy-on-write) mapping
+  never dirties a page, and N forked serving workers share **one**
+  physical copy of the payload through the OS page cache.
+
+``LabelStore.open_mmap(path)`` / ``DistanceIndex.open(path, mmap=True)``
+serve straight from such a mapping (``LabelStore.from_bytes`` accepts any
+buffer object without an upfront copy); ``repro.scale.build`` writes this
+exact layout streamingly for trees whose label sets exceed RAM.  The
+catalog container (``repro.api.IndexCatalog``) stores members
+back-to-back, so each member's store is itself a zero-copy sub-view of
+one mapped file.
 """
 
 from repro.store.label_store import STORE_MAGIC, LabelStore, StoreError

@@ -1,12 +1,22 @@
 """The packed label store: one buffer, an offset index, save/load.
 
 See the package docstring of :mod:`repro.store` for the binary format.
+
+A store never copies the payload it is handed: ``__init__`` wraps any
+buffer-protocol object (``bytes``, ``bytearray``, ``memoryview``,
+``mmap.mmap``) in a ``memoryview`` and keeps a reference to the backing
+object, so :meth:`LabelStore.from_bytes` over a catalog slice and
+:meth:`LabelStore.open_mmap` over a mapped file both serve straight from
+the original storage.  The offset index is reconstructed at load time into
+compact ``array('Q')`` words (8 bytes per label instead of a Python ``int``
+object each), which is what keeps a 10⁷-label index affordable.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from array import array
 
 from repro.encoding.bitio import Bits
 from repro.encoding.varint import decode_uvarint, encode_uvarint
@@ -17,6 +27,14 @@ STORE_MAGIC = b"RLS1"
 
 class StoreError(ValueError):
     """Raised when a store file is malformed or inconsistent."""
+
+
+def _as_byte_view(payload) -> memoryview:
+    """A flat read-only byte view of any buffer-protocol object."""
+    view = payload if isinstance(payload, memoryview) else memoryview(payload)
+    if view.format != "B" or view.ndim != 1:
+        view = view.cast("B")
+    return view.toreadonly()
 
 
 class LabelStore:
@@ -32,25 +50,32 @@ class LabelStore:
         self,
         scheme_name: str,
         scheme_params: dict,
-        bit_lengths: list[int],
-        payload: bytes,
+        bit_lengths,
+        payload,
     ) -> None:
         self.scheme_name = scheme_name
         self.scheme_params = dict(scheme_params)
-        self._bit_lengths = list(bit_lengths)
-        self._payload = bytes(payload)
-        self._view = memoryview(self._payload)
+        # the payload is *wrapped*, never copied: the memoryview pins the
+        # backing object (bytes, a catalog slice, an mmap) for its lifetime
+        self._backing = payload
+        self._view = _as_byte_view(payload)
 
-        offsets = [0]
-        for bits in self._bit_lengths:
-            if bits < 0:
-                raise StoreError("negative label bit length")
-            offsets.append(offsets[-1] + (bits + 7) // 8)
-        if offsets[-1] != len(self._payload):
+        lengths = array("Q")
+        offsets = array("Q", (0,))
+        total = 0
+        try:
+            for bits in bit_lengths:
+                lengths.append(bits)
+                total += (bits + 7) // 8
+                offsets.append(total)
+        except (OverflowError, TypeError) as error:
+            raise StoreError(f"negative or invalid label bit length: {error}") from error
+        if total != self._view.nbytes:
             raise StoreError(
-                f"payload is {len(self._payload)} bytes but the index "
-                f"describes {offsets[-1]}"
+                f"payload is {self._view.nbytes} bytes but the index "
+                f"describes {total}"
             )
+        self._bit_lengths = lengths
         self._offsets = offsets
 
     # -- construction --------------------------------------------------------
@@ -136,13 +161,15 @@ class LabelStore:
                 value = 0
             yield node, value, bits
 
-    def buffers(self) -> tuple[memoryview, list[int], list[int]]:
+    def buffers(self):
         """The raw packed representation: ``(view, byte_offsets, bit_lengths)``.
 
         Label ``i`` occupies ``view[byte_offsets[i]:byte_offsets[i + 1]]``
         and is ``bit_lengths[i]`` bits long.  Word-level bulk parsers
         (``scheme.parse_many`` overrides) read labels straight from these
-        buffers; everything is read-only.
+        buffers; everything is read-only.  The index sequences are
+        ``array('Q')`` values — indexable like lists, and buffer-protocol
+        objects the native kernel tier maps without copying.
         """
         return self._view, self._offsets, self._bit_lengths
 
@@ -171,12 +198,22 @@ class LabelStore:
     @property
     def payload_bytes(self) -> int:
         """Bytes of packed label payload (labels padded to byte boundaries)."""
-        return len(self._payload)
+        return self._view.nbytes
 
     @property
     def max_label_bits(self) -> int:
         """Largest stored label, in bits (the quantity the paper bounds)."""
         return max(self._bit_lengths, default=0)
+
+    @property
+    def mmap_backed(self) -> bool:
+        """Whether the payload is served from a memory-mapped file."""
+        import mmap
+
+        return isinstance(self._backing, mmap.mmap) or (
+            isinstance(self._backing, memoryview)
+            and isinstance(self._backing.obj, mmap.mmap)
+        )
 
     @property
     def file_bytes(self) -> int:
@@ -194,13 +231,13 @@ class LabelStore:
             + len(params)
             + len(encode_uvarint(self.n))
             + sum(len(encode_uvarint(bits)) for bits in self._bit_lengths)
-            + len(self._payload)
+            + self._view.nbytes
         )
 
     # -- persistence ---------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialise the store (see the format in the package docstring)."""
+    def header_bytes(self) -> bytes:
+        """The serialised header + varint index (everything before the payload)."""
         name = self.scheme_name.encode("utf-8")
         params = json.dumps(self.scheme_params, sort_keys=True).encode("utf-8")
         parts = [
@@ -212,26 +249,36 @@ class LabelStore:
             encode_uvarint(self.n),
         ]
         parts.extend(encode_uvarint(bits) for bits in self._bit_lengths)
-        parts.append(self._payload)
         return b"".join(parts)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the store (see the format in the package docstring)."""
+        return self.header_bytes() + bytes(self._view)
 
     @classmethod
     def from_bytes(cls, data) -> "LabelStore":
-        """Parse a store serialised by :meth:`to_bytes`."""
-        data = bytes(data)
-        if data[: len(STORE_MAGIC)] != STORE_MAGIC:
+        """Parse a store serialised by :meth:`to_bytes`.
+
+        ``data`` may be any buffer-protocol object; nothing is copied.  The
+        header is decoded in place and the payload stays a zero-copy view of
+        ``data``, which the returned store keeps alive — the path an
+        :class:`~repro.api.IndexCatalog` member slice and an ``mmap``-backed
+        file both take.
+        """
+        view = _as_byte_view(data)
+        if bytes(view[: len(STORE_MAGIC)]) != STORE_MAGIC:
             raise StoreError(
                 f"not a label store (expected magic {STORE_MAGIC!r})"
             )
         pos = len(STORE_MAGIC)
         try:
-            name_len, pos = decode_uvarint(data, pos)
-            name = data[pos : pos + name_len].decode("utf-8")
+            name_len, pos = decode_uvarint(view, pos)
+            name = bytes(view[pos : pos + name_len]).decode("utf-8")
             pos += name_len
-            params_len, pos = decode_uvarint(data, pos)
-            params = json.loads(data[pos : pos + params_len].decode("utf-8"))
+            params_len, pos = decode_uvarint(view, pos)
+            params = json.loads(bytes(view[pos : pos + params_len]).decode("utf-8"))
             pos += params_len
-            n, pos = decode_uvarint(data, pos)
+            n, pos = decode_uvarint(view, pos)
             bit_lengths = None
             if n >= 256:
                 # bulk index decode through the native kernel tier when it
@@ -240,32 +287,51 @@ class LabelStore:
                 # proper error for genuinely corrupt input
                 from repro import kernels
 
-                decoded = kernels.backend().varint_many(data, pos, n)
+                decoded = kernels.backend().varint_many(view, pos, n)
                 if decoded is not None:
                     values, pos = decoded
-                    bit_lengths = list(values)
+                    bit_lengths = values
             if bit_lengths is None:
                 bit_lengths = []
                 for _ in range(n):
-                    bits, pos = decode_uvarint(data, pos)
+                    bits, pos = decode_uvarint(view, pos)
                     bit_lengths.append(bits)
         except ValueError as error:
             raise StoreError(f"corrupt store header: {error}") from error
-        payload = data[pos:]
-        return cls(name, params, bit_lengths, payload)
+        return cls(name, params, bit_lengths, view[pos:])
 
     def save(self, path: str | os.PathLike) -> int:
         """Write the store to ``path``; returns the number of bytes written."""
-        blob = self.to_bytes()
+        header = self.header_bytes()
         with open(path, "wb") as handle:
-            handle.write(blob)
-        return len(blob)
+            handle.write(header)
+            handle.write(self._view)
+        return len(header) + self._view.nbytes
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "LabelStore":
-        """Read a store written by :meth:`save`."""
+        """Read a store written by :meth:`save` into memory."""
         with open(path, "rb") as handle:
             return cls.from_bytes(handle.read())
+
+    @classmethod
+    def open_mmap(cls, path: str | os.PathLike) -> "LabelStore":
+        """Open a store file as a read-only memory mapping (zero-copy).
+
+        Only the header and the varint index are parsed into memory; the
+        payload stays a view of the mapping, so resident memory is whatever
+        the page cache keeps warm — and N processes opening the same file
+        (the pre-forked serving fleet) share **one** physical copy.  The
+        returned store holds the mapping open for its lifetime.
+        """
+        import mmap
+
+        with open(path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError) as error:
+                raise StoreError(f"cannot mmap {os.fspath(path)!r}: {error}") from error
+        return cls.from_bytes(memoryview(mapped))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

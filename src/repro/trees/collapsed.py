@@ -16,6 +16,8 @@ all the distance-array machinery of Section 3:
 
 from __future__ import annotations
 
+from array import array
+
 from repro.trees.heavy_path import HeavyPathDecomposition
 from repro.trees.tree import RootedTree
 
@@ -34,62 +36,87 @@ class CollapsedTree:
         hpd = self._hpd
         tree = self._tree
         path_count = hpd.path_count()
+        zeros = bytes(4 * path_count)
 
-        self._parent: list[int | None] = [None] * path_count
-        self._branch_node: list[int | None] = [None] * path_count
-        self._children: list[list[int]] = [[] for _ in range(path_count)]
+        # like RootedTree, everything is array('i') rows with -1 sentinels
+        # and a CSR children adjacency — a few dozen bytes per heavy path
+        # instead of nested Python lists
+        self._parent = array("i", zeros)
+        self._branch_node = array("i", zeros)
+        counts = array("i", bytes(4 * (path_count + 1)))
 
         for path_id in range(path_count):
             head = hpd.head(path_id)
             branch = tree.parent(head)
             if branch is None:
                 self._root_path = path_id
+                self._parent[path_id] = -1
+                self._branch_node[path_id] = -1
                 continue
             parent_path = hpd.path_of(branch)
             self._parent[path_id] = parent_path
             self._branch_node[path_id] = branch
-            self._children[parent_path].append(path_id)
+            counts[parent_path + 1] += 1
+
+        for path_id in range(path_count):
+            counts[path_id + 1] += counts[path_id]
+        self._child_start = counts
+        child_data = array("i", zeros[: 4 * (path_count - 1)])
+        cursor = array("i", counts[:path_count])
+        for path_id in range(path_count):
+            parent_path = self._parent[path_id]
+            if parent_path >= 0:
+                child_data[cursor[parent_path]] = path_id
+                cursor[parent_path] += 1
 
         # order children: branch position on the parent path ascending,
         # then subtree size ascending (largest / exceptional last), then id
         for path_id in range(path_count):
-            self._children[path_id].sort(
-                key=lambda child: (
-                    hpd.position_on_path(self._branch_node[child]),
-                    tree.subtree_size(hpd.head(child)),
-                    child,
+            row = slice(counts[path_id], counts[path_id + 1])
+            siblings = child_data[row].tolist()
+            if len(siblings) > 1:
+                siblings.sort(
+                    key=lambda child: (
+                        hpd.position_on_path(self._branch_node[child]),
+                        tree.subtree_size(hpd.head(child)),
+                        child,
+                    )
                 )
-            )
+                child_data[row] = array("i", siblings)
+        self._child_data = child_data
 
-        self._child_index: list[int] = [0] * path_count
+        self._child_index = array("i", zeros)
         for path_id in range(path_count):
-            for index, child in enumerate(self._children[path_id]):
-                self._child_index[child] = index
+            for index in range(counts[path_id], counts[path_id + 1]):
+                self._child_index[child_data[index]] = index - counts[path_id]
 
-        self._depth = [0] * path_count
-        order: list[int] = []
+        self._depth = array("i", zeros)
+        preorder = array("i", zeros)
+        pre_cursor = 0
         stack = [self._root_path]
         while stack:
             node = stack.pop()
-            order.append(node)
-            for child in self._children[node]:
+            preorder[pre_cursor] = node
+            pre_cursor += 1
+            for index in range(counts[node], counts[node + 1]):
+                child = child_data[index]
                 self._depth[child] = self._depth[node] + 1
                 stack.append(child)
-        self._preorder = order
+        self._preorder = preorder
 
-        # postorder (domination) numbering
-        self._postorder_number = [0] * path_count
+        # postorder (domination) numbering; ~node encodes the exit visit
+        self._postorder_number = array("i", zeros)
         counter = 0
-        stack2: list[tuple[int, bool]] = [(self._root_path, False)]
+        stack2 = [self._root_path]
         while stack2:
-            node, processed = stack2.pop()
-            if processed:
-                self._postorder_number[node] = counter
+            node = stack2.pop()
+            if node < 0:
+                self._postorder_number[~node] = counter
                 counter += 1
                 continue
-            stack2.append((node, True))
-            for child in reversed(self._children[node]):
-                stack2.append((child, False))
+            stack2.append(~node)
+            for index in range(counts[node + 1] - 1, counts[node] - 1, -1):
+                stack2.append(child_data[index])
 
     # -- accessors ---------------------------------------------------------
 
@@ -113,11 +140,14 @@ class CollapsedTree:
 
     def parent(self, collapsed_node: int) -> int | None:
         """Parent collapsed node (``None`` for the root)."""
-        return self._parent[collapsed_node]
+        parent = self._parent[collapsed_node]
+        return None if parent < 0 else parent
 
     def children(self, collapsed_node: int) -> list[int]:
         """Ordered children of a collapsed node."""
-        return list(self._children[collapsed_node])
+        return self._child_data[
+            self._child_start[collapsed_node] : self._child_start[collapsed_node + 1]
+        ].tolist()
 
     def child_index(self, collapsed_node: int) -> int:
         """Index of a collapsed node among its parent's ordered children."""
@@ -125,7 +155,8 @@ class CollapsedTree:
 
     def branch_node(self, collapsed_node: int) -> int | None:
         """Tree node on the parent heavy path from which this path hangs."""
-        return self._branch_node[collapsed_node]
+        branch = self._branch_node[collapsed_node]
+        return None if branch < 0 else branch
 
     def head(self, collapsed_node: int) -> int:
         """Head (in T) of the heavy path behind a collapsed node."""
@@ -150,10 +181,9 @@ class CollapsedTree:
     def is_exceptional(self, collapsed_node: int) -> bool:
         """Whether the light edge to this collapsed node is the exceptional one."""
         parent = self._parent[collapsed_node]
-        if parent is None:
+        if parent < 0:
             return False
-        siblings = self._children[parent]
-        return siblings[-1] == collapsed_node
+        return self._child_data[self._child_start[parent + 1] - 1] == collapsed_node
 
     def collapsed_node_of(self, tree_node: int) -> int:
         """Collapsed node (heavy path id) containing a tree node."""
@@ -162,8 +192,8 @@ class CollapsedTree:
     def root_path_sequence(self, tree_node: int) -> list[int]:
         """Collapsed nodes on the path from the collapsed root to ``tree_node``'s path."""
         sequence = []
-        current: int | None = self._hpd.path_of(tree_node)
-        while current is not None:
+        current = self._hpd.path_of(tree_node)
+        while current >= 0:
             sequence.append(current)
             current = self._parent[current]
         sequence.reverse()

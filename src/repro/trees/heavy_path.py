@@ -14,6 +14,8 @@ some baselines.
 
 from __future__ import annotations
 
+from array import array
+
 from repro.trees.tree import RootedTree
 
 PAPER_VARIANT = "paper"
@@ -28,11 +30,16 @@ class HeavyPathDecomposition:
             raise ValueError(f"unknown heavy path variant: {variant!r}")
         self._tree = tree
         self._variant = variant
-        self._path_of = [-1] * tree.n
-        self._position = [0] * tree.n
-        self._paths: list[list[int]] = []
-        self._heavy_child: list[int | None] = [None] * tree.n
-        self._light_depth = [0] * tree.n
+        # per-node rows are array('i') and paths are CSR (flat node array
+        # plus per-path start offsets): 20 bytes/node total, which matters
+        # at the 10^7-node scale of repro.scale
+        zeros = bytes(4 * tree.n)
+        self._path_of = array("i", zeros)
+        self._position = array("i", zeros)
+        self._heavy_child = array("i", zeros)  # -1 encodes "no heavy child"
+        self._light_depth = array("i", zeros)
+        self._path_data = array("i")
+        self._path_start = array("i", [0])
         self._decompose()
 
     # -- construction -----------------------------------------------------
@@ -52,26 +59,29 @@ class HeavyPathDecomposition:
 
     def _decompose(self) -> None:
         tree = self._tree
+        path_data = self._path_data
+        path_start = self._path_start
         # stack holds (subtree root, light depth of that subtree root)
         stack: list[tuple[int, int]] = [(tree.root, 0)]
         while stack:
             start, light_depth = stack.pop()
             decomposition_size = tree.subtree_size(start)
-            path_id = len(self._paths)
-            path: list[int] = []
+            path_id = len(path_start) - 1
+            position = 0
             node: int | None = start
             while node is not None:
-                path.append(node)
+                path_data.append(node)
                 self._path_of[node] = path_id
-                self._position[node] = len(path) - 1
+                self._position[node] = position
                 self._light_depth[node] = light_depth
                 heavy = self._select_heavy_child(node, decomposition_size)
-                self._heavy_child[node] = heavy
+                self._heavy_child[node] = -1 if heavy is None else heavy
                 for child in tree.children(node):
                     if child != heavy:
                         stack.append((child, light_depth + 1))
                 node = heavy
-            self._paths.append(path)
+                position += 1
+            path_start.append(len(path_data))
 
     # -- accessors ---------------------------------------------------------
 
@@ -87,11 +97,11 @@ class HeavyPathDecomposition:
 
     def paths(self) -> list[list[int]]:
         """All heavy paths, each listed from head (closest to root) down."""
-        return [list(p) for p in self._paths]
+        return [self.path_nodes(path_id) for path_id in range(self.path_count())]
 
     def path_count(self) -> int:
         """Number of heavy paths."""
-        return len(self._paths)
+        return len(self._path_start) - 1
 
     def path_of(self, node: int) -> int:
         """Identifier of the heavy path containing ``node``."""
@@ -99,15 +109,17 @@ class HeavyPathDecomposition:
 
     def path_nodes(self, path_id: int) -> list[int]:
         """Nodes of a heavy path from head to tail."""
-        return list(self._paths[path_id])
+        return self._path_data[
+            self._path_start[path_id] : self._path_start[path_id + 1]
+        ].tolist()
 
     def head(self, path_id: int) -> int:
         """Head (node closest to the root) of a heavy path."""
-        return self._paths[path_id][0]
+        return self._path_data[self._path_start[path_id]]
 
     def head_of(self, node: int) -> int:
         """Head of the heavy path containing ``node``."""
-        return self._paths[self._path_of[node]][0]
+        return self._path_data[self._path_start[self._path_of[node]]]
 
     def position_on_path(self, node: int) -> int:
         """0-based position of ``node`` on its heavy path (head = 0)."""
@@ -115,7 +127,8 @@ class HeavyPathDecomposition:
 
     def heavy_child(self, node: int) -> int | None:
         """The heavy child of ``node`` (``None`` if the path ends here)."""
-        return self._heavy_child[node]
+        heavy = self._heavy_child[node]
+        return None if heavy < 0 else heavy
 
     def is_heavy_edge(self, child: int) -> bool:
         """Whether the edge from ``child`` to its parent is heavy."""
@@ -166,7 +179,7 @@ class HeavyPathDecomposition:
             order.append(node)
             heavy = self._heavy_child[node]
             ordered_children = [c for c in self._tree.children(node) if c != heavy]
-            if heavy is not None:
+            if heavy >= 0:
                 ordered_children.append(heavy)
             for child in reversed(ordered_children):
                 stack.append(child)

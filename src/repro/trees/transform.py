@@ -17,10 +17,17 @@ Deviation from the paper (documented in DESIGN.md §3.2): we attach a pendant
 leaf to *every* original node, not only to internal ones.  This guarantees
 that every queried node hangs off its ancestor heavy paths via light edges,
 which the accumulator reconstruction of Property 3.2 relies on.
+
+The node maps are compact ``array('i')`` rows rather than dicts (4 bytes
+per node instead of ~100 per dict entry): ``query_node[original]`` indexes
+exactly like the old mapping, and ``origin`` uses ``-1`` for transformed
+nodes that represent no original node.  At the 10⁷-node scale of
+:mod:`repro.scale` the dict versions alone cost gigabytes.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.trees.tree import RootedTree
@@ -32,15 +39,15 @@ class TransformResult:
 
     Attributes:
         tree: the transformed tree.
-        query_node: mapping from original node to the node of ``tree`` on
-            which queries about the original node should be asked.
-        origin: partial inverse map (transformed node -> original node) for
-            nodes that directly represent an original node.
+        query_node: row indexed by original node giving the node of ``tree``
+            on which queries about the original node should be asked.
+        origin: inverse row indexed by transformed node (``-1`` where the
+            transformed node represents no original node).
     """
 
     tree: RootedTree
-    query_node: dict[int, int]
-    origin: dict[int, int]
+    query_node: array
+    origin: array
 
 
 def attach_leaves(tree: RootedTree, only_internal: bool = False) -> TransformResult:
@@ -49,15 +56,14 @@ def attach_leaves(tree: RootedTree, only_internal: bool = False) -> TransformRes
     Returns a transform whose ``query_node`` maps every original node to its
     pendant leaf (or to itself if no leaf was attached).
     """
-    parents: list[int | None] = [tree.parent(v) for v in tree.nodes()]
-    weights: list[int] = [tree.edge_weight(v) for v in tree.nodes()]
-    query_node: dict[int, int] = {}
-    origin: dict[int, int] = {v: v for v in tree.nodes()}
+    n = tree.n
+    parents = array("i", (-1 if tree.parent(v) is None else tree.parent(v) for v in tree.nodes()))
+    weights = array("q", (tree.edge_weight(v) for v in tree.nodes()))
+    query_node = array("i", range(n))
 
-    next_node = tree.n
+    next_node = n
     for node in tree.nodes():
         if only_internal and tree.is_leaf(node):
-            query_node[node] = node
             continue
         parents.append(node)
         weights.append(0)
@@ -65,6 +71,9 @@ def attach_leaves(tree: RootedTree, only_internal: bool = False) -> TransformRes
         next_node += 1
 
     transformed = RootedTree(parents, weights)
+    origin = array("i", bytes(4 * next_node))
+    for node in range(n, next_node):
+        origin[node] = -1
     return TransformResult(transformed, query_node, origin)
 
 
@@ -75,13 +84,13 @@ def binarize(tree: RootedTree) -> TransformResult:
     rest to a chain of fresh internal nodes connected by 0-weight edges, so
     all original pairwise distances are preserved.
     """
-    parents: list[int | None] = [None] * tree.n
-    weights: list[int] = [0] * tree.n
-    parents[tree.root] = None
+    n = tree.n
+    parents = array("i", [-1]) * n
+    weights = array("q", bytes(8 * n))
 
-    next_node = tree.n
-    extra_parents: list[int | None] = []
-    extra_weights: list[int] = []
+    next_node = n
+    extra_parents = array("i")
+    extra_weights = array("q")
 
     for node in tree.nodes():
         children = tree.children(node)
@@ -114,11 +123,9 @@ def binarize(tree: RootedTree) -> TransformResult:
             parents[child] = dummy
             weights[child] = tree.edge_weight(child)
 
-    all_parents = parents + extra_parents
-    all_weights = weights + extra_weights
-    transformed = RootedTree(all_parents, all_weights)
-    query_node = {v: v for v in tree.nodes()}
-    origin = {v: v for v in tree.nodes()}
+    transformed = RootedTree(parents + extra_parents, weights + extra_weights)
+    query_node = array("i", range(n))
+    origin = array("i", range(n)) + array("i", [-1]) * (next_node - n)
     return TransformResult(transformed, query_node, origin)
 
 
@@ -135,9 +142,9 @@ def prepare_for_leaf_queries(
     if not binarize_tree:
         return attached
     binarized = binarize(attached.tree)
-    query_node = {
-        original: binarized.query_node[leaf]
-        for original, leaf in attached.query_node.items()
-    }
-    origin = {leaf: original for original, leaf in query_node.items()}
+    bin_query = binarized.query_node
+    query_node = array("i", (bin_query[leaf] for leaf in attached.query_node))
+    origin = array("i", [-1]) * binarized.tree.n
+    for original in range(tree.n):
+        origin[query_node[original]] = original
     return TransformResult(binarized.tree, query_node, origin)

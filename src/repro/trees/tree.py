@@ -5,10 +5,21 @@ a non-negative integer weight on the edge to its parent (default 1, the
 unweighted case).  The structure is immutable after construction; derived
 quantities (subtree sizes, depths, root distances, traversal orders) are
 computed once and cached.
+
+Storage is compact: every node-valued quantity lives in an ``array('i')``
+(4 bytes per node instead of a pointer to a Python ``int`` object each;
+node ids fit ``int32`` up to the 2·10⁹-node mark, far past the 10⁸ ceiling
+of :mod:`repro.scale`), weighted quantities (edge weights, root distances)
+in an ``array('q')``, and the children adjacency is CSR — one flat child
+array plus per-node start offsets.  That keeps a tree near ~52 bytes/node,
+which is what makes the 10⁷–10⁸-node instances of the external-memory
+pipeline hold in RAM at all; the accessor API is unchanged and none of
+this is visible to callers.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Sequence
 
 
@@ -27,31 +38,44 @@ class RootedTree:
         n = len(parents)
         if n == 0:
             raise TreeError("a tree must contain at least one node")
-        roots = [v for v, p in enumerate(parents) if p is None or p < 0]
+        # -1 encodes "no parent" internally; accessors translate to None
+        parent_row = array("i", (-1 if p is None or p < 0 else p for p in parents))
+        roots = [v for v in range(n) if parent_row[v] < 0]
         if len(roots) != 1:
             raise TreeError(f"expected exactly one root, found {len(roots)}")
         self._root = roots[0]
-        self._parents: list[int | None] = [
-            None if (p is None or p < 0) else int(p) for p in parents
-        ]
+        self._parents = parent_row
         if weights is None:
-            self._weights = [1] * n
+            self._weights = array("q", [1]) * n
             self._weights[self._root] = 0
         else:
             if len(weights) != n:
                 raise TreeError("weights must have one entry per node")
-            if any(w < 0 for w in weights):
+            self._weights = array("q", weights)
+            if any(w < 0 for w in self._weights):
                 raise TreeError("edge weights must be non-negative")
-            self._weights = list(weights)
             self._weights[self._root] = 0
-        for v, p in enumerate(self._parents):
-            if p is not None and not 0 <= p < n:
-                raise TreeError(f"parent of node {v} out of range: {p}")
+        for v in range(n):
+            if self._parents[v] >= n:
+                raise TreeError(f"parent of node {v} out of range: {self._parents[v]}")
 
-        self._children: list[list[int]] = [[] for _ in range(n)]
-        for v, p in enumerate(self._parents):
-            if p is not None:
-                self._children[p].append(v)
+        # children in CSR form, construction order == ascending child id
+        counts = array("i", bytes(4 * (n + 1)))
+        for v in range(n):
+            p = parent_row[v]
+            if p >= 0:
+                counts[p + 1] += 1
+        for v in range(n):
+            counts[v + 1] += counts[v]
+        self._child_start = counts
+        data = array("i", bytes(4 * (n - 1))) if n > 1 else array("i")
+        cursor = array("i", counts[:n])
+        for v in range(n):
+            p = parent_row[v]
+            if p >= 0:
+                data[cursor[p]] = v
+                cursor[p] += 1
+        self._child_data = data
 
         self._validate_acyclic()
         self._compute_orders()
@@ -60,16 +84,17 @@ class RootedTree:
 
     def _validate_acyclic(self) -> None:
         n = len(self._parents)
-        seen = [False] * n
-        seen[self._root] = True
+        seen = bytearray(n)
+        seen[self._root] = 1
         stack = [self._root]
         visited = 1
+        start, data = self._child_start, self._child_data
         while stack:
             node = stack.pop()
-            for child in self._children[node]:
+            for child in data[start[node] : start[node + 1]]:
                 if seen[child]:
                     raise TreeError("parent array contains a cycle")
-                seen[child] = True
+                seen[child] = 1
                 visited += 1
                 stack.append(child)
         if visited != n:
@@ -77,35 +102,51 @@ class RootedTree:
 
     def _compute_orders(self) -> None:
         n = len(self._parents)
-        self._preorder: list[int] = []
-        self._postorder: list[int] = []
-        self._depth = [0] * n
-        self._root_distance = [0] * n
-        self._subtree_size = [1] * n
+        zeros = bytes(4 * n)
+        preorder = array("i", zeros)
+        postorder = array("i", zeros)
+        depth = array("i", zeros)
+        root_distance = array("q", bytes(8 * n))
+        subtree_size = array("i", [1]) * n
+        start, data, weights = self._child_start, self._child_data, self._weights
 
-        stack: list[tuple[int, bool]] = [(self._root, False)]
+        pre_cursor = post_cursor = 0
+        stack: list[int] = [self._root]
+        # non-negative entry = enter the node, ~entry = exit it
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                self._postorder.append(node)
-                for child in self._children[node]:
-                    self._subtree_size[node] += self._subtree_size[child]
+            node = stack.pop()
+            if node < 0:
+                node = ~node
+                postorder[post_cursor] = node
+                post_cursor += 1
+                for child in data[start[node] : start[node + 1]]:
+                    subtree_size[node] += subtree_size[child]
                 continue
-            self._preorder.append(node)
-            stack.append((node, True))
-            for child in reversed(self._children[node]):
-                self._depth[child] = self._depth[node] + 1
-                self._root_distance[child] = (
-                    self._root_distance[node] + self._weights[child]
-                )
-                stack.append((child, False))
+            preorder[pre_cursor] = node
+            pre_cursor += 1
+            stack.append(~node)
+            base = depth[node]
+            distance = root_distance[node]
+            for index in range(start[node + 1] - 1, start[node] - 1, -1):
+                child = data[index]
+                depth[child] = base + 1
+                root_distance[child] = distance + weights[child]
+                stack.append(child)
 
-        self._pre_index = [0] * n
-        for index, node in enumerate(self._preorder):
-            self._pre_index[node] = index
-        self._post_index = [0] * n
-        for index, node in enumerate(self._postorder):
-            self._post_index[node] = index
+        self._preorder = preorder
+        self._postorder = postorder
+        self._depth = depth
+        self._root_distance = root_distance
+        self._subtree_size = subtree_size
+
+        pre_index = array("i", zeros)
+        for index in range(n):
+            pre_index[preorder[index]] = index
+        post_index = array("i", zeros)
+        for index in range(n):
+            post_index[postorder[index]] = index
+        self._pre_index = pre_index
+        self._post_index = post_index
 
     # -- basic accessors -------------------------------------------------
 
@@ -128,19 +169,22 @@ class RootedTree:
 
     def parent(self, node: int) -> int | None:
         """Parent of ``node`` (``None`` for the root)."""
-        return self._parents[node]
+        p = self._parents[node]
+        return None if p < 0 else p
 
     def children(self, node: int) -> list[int]:
         """Children of ``node`` in construction order."""
-        return list(self._children[node])
+        return self._child_data[
+            self._child_start[node] : self._child_start[node + 1]
+        ].tolist()
 
     def degree(self, node: int) -> int:
         """Number of children."""
-        return len(self._children[node])
+        return self._child_start[node + 1] - self._child_start[node]
 
     def is_leaf(self, node: int) -> bool:
         """Whether ``node`` has no children."""
-        return not self._children[node]
+        return self._child_start[node + 1] == self._child_start[node]
 
     def leaves(self) -> list[int]:
         """All leaves in preorder."""
@@ -172,11 +216,11 @@ class RootedTree:
 
     def preorder(self) -> list[int]:
         """Preorder traversal (children in construction order)."""
-        return list(self._preorder)
+        return self._preorder.tolist()
 
     def postorder(self) -> list[int]:
         """Postorder traversal (children in construction order)."""
-        return list(self._postorder)
+        return self._postorder.tolist()
 
     def preorder_index(self, node: int) -> int:
         """Position of ``node`` in the preorder traversal."""
@@ -195,10 +239,10 @@ class RootedTree:
     def path_to_root(self, node: int) -> list[int]:
         """Nodes on the path from ``node`` up to (and including) the root."""
         path = [node]
-        current = node
-        while (parent := self._parents[current]) is not None:
-            path.append(parent)
-            current = parent
+        current = self._parents[node]
+        while current >= 0:
+            path.append(current)
+            current = self._parents[current]
         return path
 
     def height(self) -> int:
@@ -207,8 +251,9 @@ class RootedTree:
 
     def edges(self) -> Iterator[tuple[int, int, int]]:
         """Iterate ``(parent, child, weight)`` triples."""
-        for v, p in enumerate(self._parents):
-            if p is not None:
+        for v in range(len(self._parents)):
+            p = self._parents[v]
+            if p >= 0:
                 yield p, v, self._weights[v]
 
     # -- ordered variants --------------------------------------------------
@@ -217,9 +262,10 @@ class RootedTree:
         """Return a copy whose children obey the given per-node ordering."""
         clone = RootedTree(self._parents, self._weights)
         for node, children in order.items():
-            if sorted(children) != sorted(clone._children[node]):
+            row = slice(clone._child_start[node], clone._child_start[node + 1])
+            if sorted(children) != sorted(clone._child_data[row]):
                 raise TreeError(f"child order for node {node} is not a permutation")
-            clone._children[node] = list(children)
+            clone._child_data[row] = array("i", children)
         clone._compute_orders()
         return clone
 

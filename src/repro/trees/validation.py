@@ -72,7 +72,7 @@ def check_heavy_path_rule(decomposition: HeavyPathDecomposition) -> None:
 def check_transform_preserves_distances(
     original: RootedTree,
     transformed: RootedTree,
-    query_node: dict[int, int],
+    query_node,
     sample_pairs: list[tuple[int, int]],
     distance_fn,
 ) -> None:

@@ -234,7 +234,7 @@ class TestWorkloads:
             zipf_pairs(10, 10, skew=-1.0)
 
     def test_pair_workload_registry(self):
-        assert sorted(WORKLOADS) == ["uniform", "zipf"]
+        assert sorted(WORKLOADS) == ["khop", "sibling", "uniform", "zipf"]
         assert pair_workload("uniform", 50, 20, seed=5) == uniform_pairs(50, 20, seed=5)
         assert pair_workload("zipf", 50, 20, seed=5, skew=1.5) == zipf_pairs(
             50, 20, skew=1.5, seed=5

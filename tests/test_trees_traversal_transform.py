@@ -45,7 +45,7 @@ class TestAttachLeaves:
     def test_every_node_gets_a_pendant_leaf(self, any_tree):
         result = attach_leaves(any_tree)
         assert result.tree.n == 2 * any_tree.n
-        for original, pendant in result.query_node.items():
+        for original, pendant in enumerate(result.query_node):
             assert result.tree.parent(pendant) == original
             assert result.tree.edge_weight(pendant) == 0
             assert result.tree.is_leaf(pendant)
@@ -94,7 +94,7 @@ class TestPrepareForLeafQueries:
     @settings(max_examples=30, deadline=None)
     def test_query_nodes_are_leaves(self, tree):
         result = prepare_for_leaf_queries(tree)
-        for pendant in result.query_node.values():
+        for pendant in result.query_node:
             assert result.tree.is_leaf(pendant)
 
     def test_without_binarization(self, any_tree):
