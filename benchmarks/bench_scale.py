@@ -446,52 +446,55 @@ def main() -> int:
     os.makedirs(args.work_dir, exist_ok=True)
     started = time.perf_counter()
 
-    if args.gate:
-        print("scale gate (capped build, n=100,000):", flush=True)
-        gate = _gate_section(args.work_dir)
-        payload = {"benchmark": "scale", "mode": "gate", "gate": gate}
+    # Scratch cleanup must run on EVERY exit path -- the gate's early
+    # return and crashed runs used to leave hundreds of MB in .bench_scale.
+    try:
+        if args.gate:
+            print("scale gate (capped build, n=100,000):", flush=True)
+            gate = _gate_section(args.work_dir)
+            payload = {"benchmark": "scale", "mode": "gate", "gate": gate}
+            path = write_json("BENCH_scale.json", payload, out=args.out)
+            print(f"wrote {path}")
+            if not gate["passed"]:
+                print("GATE FAILED", file=sys.stderr)
+                return 1
+            print(f"gate passed in {time.perf_counter() - started:.1f}s")
+            return 0
+
+        build_n = SMOKE_BUILD_N if args.smoke else FULL_BUILD_N
+        query_n = SMOKE_QUERY_N if args.smoke else FULL_QUERY_N
+
+        builds = {}
+        tree_file = _ensure_tree(args.work_dir, build_n)
+        for scheme in BUILD_SCHEMES:
+            print(f"build section: {scheme}", flush=True)
+            builds[scheme] = _build_pair(args.work_dir, tree_file, scheme, build_n)
+
+        print("query section:", flush=True)
+        query_store = None
+        if query_n == build_n and QUERY_SCHEME in builds:
+            query_store = builds[QUERY_SCHEME].pop("store_path", None)
+        else:
+            for scheme in builds:
+                builds[scheme].pop("store_path", None)
+        query = _query_section(args.work_dir, query_n, query_store)
+
+        payload = {
+            "benchmark": "scale",
+            "mode": "smoke" if args.smoke else "full",
+            "tree_family": "random",
+            "tree_seed": TREE_SEED,
+            "builds": builds,
+            "query": query,
+        }
         path = write_json("BENCH_scale.json", payload, out=args.out)
-        print(f"wrote {path}")
-        if not gate["passed"]:
-            print("GATE FAILED", file=sys.stderr)
-            return 1
-        print(f"gate passed in {time.perf_counter() - started:.1f}s")
+        print(f"wrote {path} in {time.perf_counter() - started:.1f}s")
         return 0
+    finally:
+        if not args.keep:
+            import shutil
 
-    build_n = SMOKE_BUILD_N if args.smoke else FULL_BUILD_N
-    query_n = SMOKE_QUERY_N if args.smoke else FULL_QUERY_N
-
-    builds = {}
-    tree_file = _ensure_tree(args.work_dir, build_n)
-    for scheme in BUILD_SCHEMES:
-        print(f"build section: {scheme}", flush=True)
-        builds[scheme] = _build_pair(args.work_dir, tree_file, scheme, build_n)
-
-    print("query section:", flush=True)
-    query_store = None
-    if query_n == build_n and QUERY_SCHEME in builds:
-        query_store = builds[QUERY_SCHEME].pop("store_path", None)
-    else:
-        for scheme in builds:
-            builds[scheme].pop("store_path", None)
-    query = _query_section(args.work_dir, query_n, query_store)
-
-    payload = {
-        "benchmark": "scale",
-        "mode": "smoke" if args.smoke else "full",
-        "tree_family": "random",
-        "tree_seed": TREE_SEED,
-        "builds": builds,
-        "query": query,
-    }
-    path = write_json("BENCH_scale.json", payload, out=args.out)
-    print(f"wrote {path} in {time.perf_counter() - started:.1f}s")
-
-    if not args.keep:
-        import shutil
-
-        shutil.rmtree(args.work_dir, ignore_errors=True)
-    return 0
+            shutil.rmtree(args.work_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

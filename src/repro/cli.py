@@ -240,6 +240,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on queued queries per worker; beyond it requests are "
         "shed with BUSY and clients retry with jittered backoff",
     )
+    serve.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="fleet mode: restarts allowed per worker slot inside the "
+        "restart window before the supervisor declares a crash loop and "
+        "tears the fleet down",
+    )
+    serve.add_argument(
+        "--restart-window", type=float, default=30.0,
+        help="fleet mode: sliding window (seconds) for the crash-loop "
+        "restart budget; deaths older than this are forgotten",
+    )
+
+    status = commands.add_parser(
+        "fleet-status",
+        help="probe a serving fleet: workers, restarts, store generation",
+    )
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=7117)
+    status.add_argument(
+        "--probes", type=int, default=8,
+        help="probe connections to open; with SO_REUSEPORT each may land "
+        "on a different worker, so more probes see more of the fleet",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="drive a serve endpoint with a synthetic workload"
@@ -277,6 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline: one QUERY per pair; batch: window-sized BATCH requests",
     )
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="chaos mode, e.g. 'kill-worker:t=2': SIGKILL the worker behind "
+        "a fresh probe connection every t seconds mid-run (supervised "
+        "fleets on this machine only); the run must still answer every pair",
+    )
 
     return parser
 
@@ -528,10 +557,12 @@ def _serve_single(args, server_config: dict) -> str:
     import signal
 
     from repro.serve import LabelServer
-    from repro.serve.supervisor import open_serve_target
+    from repro.serve.supervisor import open_serve_target, store_generation
 
     target, description = open_serve_target(args.target, args.cache_size, args.mmap)
-    server = LabelServer(target, **server_config)
+    server = LabelServer(
+        target, generation=store_generation(args.target), **server_config
+    )
 
     async def run() -> None:
         host, port = await server.start(args.host, args.port)
@@ -566,7 +597,8 @@ def _serve_fleet(args, server_config: dict) -> str:
     import threading
 
     from repro.api import CATALOG_MAGIC
-    from repro.serve.supervisor import FleetSupervisor
+    from repro.serve.retry import RestartPolicy
+    from repro.serve.supervisor import FleetCrashLoop, FleetSupervisor
 
     # description only: sniff the file magic — each worker opens the file
     # itself, so the supervisor never loads the labels into its own memory
@@ -581,6 +613,9 @@ def _serve_fleet(args, server_config: dict) -> str:
         port=args.port,
         cache_size=args.cache_size,
         use_mmap=args.mmap,
+        restart_policy=RestartPolicy(
+            max_restarts=args.max_restarts, window_seconds=args.restart_window
+        ),
         **server_config,
     )
     host, port = supervisor.start()
@@ -589,27 +624,52 @@ def _serve_fleet(args, server_config: dict) -> str:
     print(
         f"serving {description} on {host}:{port} "
         f"[{mode}, {args.workers} workers via {binding}, "
-        f"pids={','.join(str(pid) for pid in supervisor.pids)}]",
+        f"pids={','.join(str(pid) for pid in supervisor.pids)}, "
+        f"generation={supervisor.generation['generation']}]",
         flush=True,
     )
 
     stop = threading.Event()
+    reload_requested = threading.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
         try:
             signal.signal(signum, lambda *_: stop.set())
         except (ValueError, OSError):  # pragma: no cover - exotic platform
             pass
+    if hasattr(signal, "SIGHUP"):
+        try:
+            signal.signal(signal.SIGHUP, lambda *_: reload_requested.set())
+        except (ValueError, OSError):  # pragma: no cover - exotic platform
+            pass
+
+    def reload_check() -> bool:
+        if not reload_requested.is_set():
+            return False
+        reload_requested.clear()
+        return True
+
+    def rolling_reload() -> bool:
+        # the rolling reload re-hashes the same path: SIGHUP means "the
+        # store file was re-encoded in place, pick it up"
+        if not reload_check():
+            return False
+        generation = supervisor.reload()["generation"]
+        print(f"reloaded fleet to generation={generation}", flush=True)
+        return False  # already handled; supervise must not reload again
+
     try:
-        supervisor.wait(stop_check=stop.is_set)
+        supervisor.supervise(stop_check=stop.is_set, reload_check=rolling_reload)
     except KeyboardInterrupt:  # pragma: no cover - signal handler races
         pass
-    degraded = not supervisor.poll() and not stop.is_set()
+    except FleetCrashLoop as crash_loop:
+        _print_fleet_summary(crash_loop.summary, file=sys.stderr)
+        print(f"error: {crash_loop}", file=sys.stderr)
+        raise SystemExit(3) from None
     fleet = supervisor.shutdown()
-    if degraded:
-        raise RuntimeError(
-            f"a worker died unexpectedly (exit codes {fleet.get('exit_codes')}); "
-            "fleet torn down"
-        )
+    return _format_fleet_summary(fleet)
+
+
+def _format_fleet_summary(fleet: dict) -> str:
     latency = fleet.get("latency_ms", {})
     lines = [_shutdown_summary(fleet)]
     lines.append(
@@ -617,15 +677,23 @@ def _serve_fleet(args, server_config: dict) -> str:
         f"{fleet.get('qps', 0.0):,.0f} q/s lifetime, "
         f"p50 {latency.get('p50', 0.0):.3f}ms p99 {latency.get('p99', 0.0):.3f}ms "
         f"(reservoir {latency.get('samples', 0)} samples), "
-        f"exit codes {fleet.get('exit_codes')}"
+        f"{fleet.get('restarts', 0)} restart(s), {fleet.get('reloads', 0)} "
+        f"reload(s), exit codes {fleet.get('exit_codes')}"
     )
     for row in fleet.get("per_worker", ()):
         lines.append(
-            f"  worker {row['worker']}: {row['queries']} queries, "
+            f"  worker {row['worker']} (slot {row.get('slot', 0)}): "
+            f"{row['queries']} queries, "
             f"{row['qps']:,.0f} q/s, p99 {row['p99_ms']:.3f}ms, "
-            f"{row['busy_rejections']} busy-shed"
+            f"{row['busy_rejections']} busy-shed, "
+            f"{row.get('restarts', 0)} restart(s)"
         )
     return "\n".join(lines)
+
+
+def _print_fleet_summary(fleet: dict, file=None) -> None:
+    if fleet:
+        print(_format_fleet_summary(fleet), file=file, flush=True)
 
 
 def _serve(args) -> str:
@@ -640,6 +708,52 @@ def _serve(args) -> str:
     if args.workers == 1:
         return _serve_single(args, server_config)
     return _serve_fleet(args, server_config)
+
+
+def _fleet_status(args) -> str:
+    """Probe a live fleet: who is serving, how often restarted, which store."""
+    from repro.serve.client import LabelClient
+    from repro.serve.metrics import merge_fleet_stats
+
+    if args.probes < 1:
+        raise ValueError("--probes must be at least 1")
+    clients = []
+    infos: dict[int, dict] = {}
+    stats_payloads: list[dict] = []
+    try:
+        # keep every probe connection open while opening the next ones, so
+        # the kernel keeps spreading them across workers
+        for _ in range(args.probes):
+            client = LabelClient(args.host, args.port)
+            clients.append(client)
+            info = client.info()
+            infos[info["worker"]] = info
+            stats_payloads.append(client.stats(reservoir=True))
+    finally:
+        for client in clients:
+            client.close()
+    merged = merge_fleet_stats(stats_payloads)
+    generations = sorted(
+        {
+            info["store"]["generation"]
+            for info in infos.values()
+            if info.get("store")
+        }
+    )
+    lines = [
+        f"fleet at {args.host}:{args.port} — {merged['workers']} worker(s) seen "
+        f"via {args.probes} probe(s), protocol {infos[next(iter(infos))]['protocol']}",
+        f"restarts: {merged.get('restarts', 0)} (fleet total), store generation: "
+        + (",".join(generations) if generations else "(not reported)"),
+    ]
+    for row in sorted(merged.get("per_worker", ()), key=lambda r: r.get("slot", 0)):
+        lines.append(
+            f"  slot {row.get('slot', 0)} pid {row['worker']}: "
+            f"{row.get('restarts', 0)} restart(s), "
+            f"up {row.get('uptime_seconds', 0.0):.1f}s, "
+            f"{row['queries']} queries, p99 {row['p99_ms']:.3f}ms"
+        )
+    return "\n".join(lines)
 
 
 def _loadgen(args) -> str:
@@ -659,12 +773,15 @@ def _loadgen(args) -> str:
         family=args.family,
         tree_seed=args.tree_seed,
         hops=args.hops,
+        chaos=args.chaos,
     )
     server = report["server"]
     latency = server["latency_ms"]
     busy = (
         f", {report['busy_retried']} busy-retried" if report["busy_retried"] else ""
     )
+    if report.get("reconnects"):
+        busy += f", {report['reconnects']} reconnect(s)"
     lines = [
         f"loadgen {report['workload']}"
         + (f"(skew={report['skew']:g})" if report["skew"] is not None else "")
@@ -678,6 +795,13 @@ def _loadgen(args) -> str:
         f"mean coalesced batch {server['mean_batch_size']}, "
         f"{server['busy_rejections']} busy-shed",
     ]
+    if report.get("chaos"):
+        chaos = report["chaos"]
+        lines.append(
+            f"chaos {chaos['spec']}: killed {chaos['kills']} worker(s) "
+            f"(pids {','.join(str(pid) for pid in chaos['pids'])}); "
+            f"fleet answered every pair regardless"
+        )
     if report["workers"] > 1:
         for row in server.get("per_worker", ()):
             lines.append(
@@ -719,7 +843,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_demo(args.family, args.n, args.seed))
         return 0
     elif args.command in (
-        "encode", "build", "query", "catalog", "serve", "loadgen", "kernels"
+        "encode", "build", "query", "catalog", "serve", "loadgen",
+        "fleet-status", "kernels",
     ):
         from repro.api import CatalogError, SpecError
         from repro.store import StoreError
@@ -731,6 +856,7 @@ def main(argv: list[str] | None = None) -> int:
             "catalog": _catalog,
             "serve": _serve,
             "loadgen": _loadgen,
+            "fleet-status": _fleet_status,
             "kernels": _kernels,
         }
         try:

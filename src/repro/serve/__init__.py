@@ -16,19 +16,28 @@ the missing network surface on top of the ``LabelStore`` → ``parse_many`` →
   MATRIX requests run on a thread executor, and an optional hot-pair
   response cache answers repeated pairs without touching the labels;
 * :class:`FleetSupervisor` (:mod:`repro.serve.supervisor`) — shard-per-core
-  serving: N pre-forked workers (one :class:`LabelServer` each) sharing one
-  listening address via ``SO_REUSEPORT`` (inherited-socket fallback), with
-  SIGTERM-propagated shutdown and fleet-merged statistics;
+  serving as a *supervised* fleet: N pre-forked workers (one
+  :class:`LabelServer` each) sharing one listening address via
+  ``SO_REUSEPORT`` (inherited-socket fallback); crashed workers are
+  re-forked with backoff (:class:`~repro.serve.retry.RestartPolicy`, crash
+  loops raise :class:`FleetCrashLoop`), ``reload()`` rolls a re-encoded
+  store through the fleet one drained worker at a time, and SIGTERM
+  propagates a drain-then-exit shutdown with fleet-merged statistics;
 * :class:`LabelClient` / :class:`AsyncLabelClient`
   (:mod:`repro.serve.client`) — blocking and asyncio clients with
-  connection reuse, request pipelining and transparent BUSY
-  retry-with-jitter, returning the same typed
+  connection reuse, request pipelining, transparent BUSY
+  retry-with-jitter and reconnect-on-EOF (a dropped worker is a retryable
+  event, not an error), returning the same typed
   :class:`~repro.api.QueryResult` values as in-process queries;
+* fault injection (:mod:`repro.serve.faults`) — ``REPRO_FAULTS``-driven
+  crashes/stalls honored at worker dispatch/accept/start points, plus the
+  loadgen's ``chaos`` mode, so the supervision paths are tested instead of
+  trusted;
 * the wire protocol (:mod:`repro.serve.protocol`), summarised below.
 
 On the command line: ``repro-labels serve <store-or-catalog>
-[--workers N]`` and ``repro-labels loadgen`` (see
-``repro-labels serve --help``).
+[--workers N]``, ``repro-labels loadgen [--chaos kill-worker:t=2]`` and
+``repro-labels fleet-status`` (see ``repro-labels serve --help``).
 
 Wire protocol (RSP/1)
 ---------------------
@@ -74,20 +83,27 @@ count).  ERROR and BUSY responses are request-scoped — the connection stays
 usable — while unparseable bytes close the connection.  BUSY is the
 additive ``"busy"`` capability of RSP/1 (advertised in the INFO payload's
 ``features`` list): an overloaded server sheds the request instead of
-queueing it, and the clients retry with jittered backoff.
+queueing it, and the clients retry with jittered backoff.  The additive
+``"generation"`` capability means INFO carries a ``store`` block (path,
+bytes, content-hash ``generation``) and STATS a ``store_generation``
+field, so rolling reloads are observable over the wire.
 """
 
 from __future__ import annotations
 
 from repro.serve.client import AsyncLabelClient, LabelClient, ServerBusy, ServerError
 from repro.serve.protocol import ProtocolError
+from repro.serve.retry import RestartPolicy
 from repro.serve.server import LabelServer, ServingCore, serve
-from repro.serve.supervisor import FleetSupervisor
+from repro.serve.supervisor import FleetCrashLoop, FleetSupervisor, store_generation
 
 __all__ = [
     "ServingCore",
     "LabelServer",
     "FleetSupervisor",
+    "FleetCrashLoop",
+    "RestartPolicy",
+    "store_generation",
     "serve",
     "LabelClient",
     "AsyncLabelClient",

@@ -25,18 +25,27 @@ retrying clients does not resynchronise into thundering herds); the retry
 budget is per-request (``busy_retries``) and exhausting it raises
 :class:`ServerBusy`.  ``pipeline`` retries only the shed subset of its
 window — answered requests are never re-sent.
+
+Self-healing: against a supervised fleet, a dropped connection (worker
+crash, rolling reload) is a *retryable* event, not an error.  Clients that
+know their remote address reconnect with the same jittered backoff — the
+kernel (or the supervisor's replacement worker) lands the new connection on
+a live worker — and re-issue only the unanswered requests; queries are
+read-only, so the re-send is always safe.  The budget is
+``reconnect_retries`` consecutive failures per call, and the lifetime
+``reconnects`` counter makes chaos tests' healing visible.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-import random
 import socket
 import time
 
 from repro.api.result import QueryResult
 from repro.serve import protocol
+from repro.serve.retry import backoff_delay as _backoff_delay
 
 
 class ServerError(RuntimeError):
@@ -50,22 +59,6 @@ class ServerBusy(ServerError):
     def __init__(self, retry_after_ms: int = 1) -> None:
         super().__init__(f"server busy; retry in ~{retry_after_ms}ms")
         self.retry_after_ms = retry_after_ms
-
-
-#: retry delays are capped so a long backoff run cannot stall a caller
-_MAX_BACKOFF_SECONDS = 0.25
-
-
-def _backoff_delay(attempt: int, retry_after_ms: int, base_delay: float) -> float:
-    """Jittered exponential backoff seeded by the server's retry hint.
-
-    Full jitter (``uniform(0.5, 1.5) * 2^attempt * base``): deterministic
-    backoff would march every shed client back in lockstep, re-creating the
-    very burst that triggered the BUSY.
-    """
-    base = max(retry_after_ms / 1000.0, base_delay)
-    delay = min(_MAX_BACKOFF_SECONDS, base * (1 << max(0, attempt - 1)))
-    return delay * (0.5 + random.random())
 
 
 _BEYOND = QueryResult(None, False, False, None)
@@ -112,16 +105,55 @@ class LabelClient:
         timeout: float | None = 30.0,
         busy_retries: int = 8,
         busy_base_delay: float = 0.002,
+        reconnect_retries: int = 8,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._remote = (host, port)
+        self._timeout = timeout
+        self._sock = None
         self._decoder = protocol.FrameDecoder()
         self._ids = itertools.count(1)
         self._unclaimed: dict[int, tuple] = {}
         self.busy_retries = busy_retries
         self.busy_base_delay = busy_base_delay
+        self.reconnect_retries = reconnect_retries
         #: lifetime count of BUSY responses this client retried
         self.busy_retried = 0
+        #: lifetime count of connections re-established after a drop
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(self._remote, timeout=self._timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # a dropped connection invalidates everything in flight on it
+        self._decoder = protocol.FrameDecoder()
+        self._unclaimed.clear()
+
+    def _reconnect(self, drops: int) -> None:
+        """Re-establish the connection after drop number ``drops``.
+
+        Retries connection *refusals* too (against a one-worker fleet there
+        is a window where the replacement has not bound yet); the budget is
+        the caller's, this only spends backoff time.
+        """
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._sock = None
+        attempt = drops
+        while True:
+            time.sleep(_backoff_delay(attempt, 1, self.busy_base_delay))
+            try:
+                self._connect()
+            except OSError:
+                attempt += 1
+                if attempt - drops > self.reconnect_retries:
+                    raise
+                continue
+            self.reconnects += 1
+            return
 
     # -- context management --------------------------------------------------
 
@@ -165,13 +197,15 @@ class LabelClient:
 
         ``frame_for_id`` builds the frame from a request id — every retry
         uses a fresh id so a late answer to a shed request can never be
-        confused with the retry's answer.
+        confused with the retry's answer.  A dropped connection (worker
+        crash, rolling reload) is reconnected and the request re-sent.
         """
         attempt = 0
+        drops = 0
         while True:
             request_id = next(self._ids)
-            self._sock.sendall(frame_for_id(request_id))
             try:
+                self._sock.sendall(frame_for_id(request_id))
                 return self._receive(request_id)
             except ServerBusy as busy:
                 attempt += 1
@@ -181,6 +215,13 @@ class LabelClient:
                 time.sleep(
                     _backoff_delay(attempt, busy.retry_after_ms, self.busy_base_delay)
                 )
+            except (ConnectionError, OSError):
+                if self._sock is None:  # deliberately closed, not a drop
+                    raise
+                drops += 1
+                if drops > self.reconnect_retries:
+                    raise
+                self._reconnect(drops)
 
     # -- requests ------------------------------------------------------------
 
@@ -244,8 +285,24 @@ class LabelClient:
         outcomes: list = [None] * len(pairs)
         todo = list(range(len(pairs)))
         attempt = 0
+        drops = 0
         while todo:
-            round_outcomes = self._pipeline_pass([pairs[i] for i in todo], name, window)
+            try:
+                round_outcomes = self._pipeline_pass(
+                    [pairs[i] for i in todo], name, window
+                )
+            except (ConnectionError, OSError):
+                # dropped mid-pass (worker crash / rolling reload): reconnect
+                # and re-issue the unanswered rest — queries are read-only,
+                # so a request answered just before the drop is safe to lose
+                if self._sock is None:
+                    raise
+                drops += 1
+                if drops > self.reconnect_retries:
+                    raise
+                self._reconnect(drops)
+                continue
+            drops = 0
             busy: list[int] = []
             for slot, (op, payload) in zip(todo, round_outcomes):
                 if op == protocol.OP_BUSY:
@@ -307,6 +364,7 @@ class AsyncLabelClient:
         *,
         busy_retries: int = 8,
         busy_base_delay: float = 0.002,
+        reconnect_retries: int = 8,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -314,15 +372,21 @@ class AsyncLabelClient:
         self._ids = itertools.count(1)
         self._waiting: dict[int, asyncio.Future] = {}
         self._broken: Exception | None = None
+        #: remote address; set by :meth:`connect`.  Clients built from raw
+        #: streams don't know it and keep the old fail-fast behaviour.
+        self._remote: tuple[str, int] | None = None
+        self._closed = False
         self.busy_retries = busy_retries
         self.busy_base_delay = busy_base_delay
+        self.reconnect_retries = reconnect_retries
         #: lifetime count of BUSY responses this client retried
         self.busy_retried = 0
+        #: lifetime count of connections re-established after a drop
+        self.reconnects = 0
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
-    @classmethod
-    async def connect(cls, host: str, port: int, **kwargs) -> "AsyncLabelClient":
-        """Open a connection and start the response reader."""
+    @staticmethod
+    async def _open(host: str, port: int):
         reader, writer = await asyncio.open_connection(host, port)
         try:
             writer.get_extra_info("socket").setsockopt(
@@ -330,10 +394,57 @@ class AsyncLabelClient:
             )
         except (OSError, AttributeError):  # pragma: no cover - platform quirk
             pass
-        return cls(reader, writer, **kwargs)
+        return reader, writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int, **kwargs) -> "AsyncLabelClient":
+        """Open a connection and start the response reader.
+
+        Clients opened this way remember the address and transparently
+        reconnect when the connection drops (worker crash, rolling reload).
+        """
+        reader, writer = await cls._open(host, port)
+        client = cls(reader, writer, **kwargs)
+        client._remote = (host, port)
+        return client
+
+    async def _reconnect(self, drops: int) -> None:
+        """Replace the dropped connection (retrying refusals with backoff)."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - already dead
+            pass
+        attempt = drops
+        while True:
+            await asyncio.sleep(_backoff_delay(attempt, 1, self.busy_base_delay))
+            try:
+                self._reader, self._writer = await self._open(*self._remote)
+            except OSError:
+                attempt += 1
+                if attempt - drops > self.reconnect_retries:
+                    raise
+                continue
+            break
+        # in-flight futures were already failed by the dying read loop;
+        # anything still registered belongs to the dead connection
+        for future in self._waiting.values():
+            if not future.done():  # pragma: no cover - defensive
+                future.set_exception(ConnectionError("connection was replaced"))
+        self._waiting.clear()
+        self._decoder = protocol.FrameDecoder()
+        self._broken = None
+        self.reconnects += 1
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     async def close(self) -> None:
         """Cancel the reader task and close the connection."""
+        self._closed = True
         self._reader_task.cancel()
         try:
             await self._reader_task
@@ -395,8 +506,13 @@ class AsyncLabelClient:
         return future
 
     async def _request(self, frame_for_id):
-        """One request with BUSY retry: fresh id and frame per attempt."""
+        """One request with BUSY retry: fresh id and frame per attempt.
+
+        For address-aware clients (built via :meth:`connect`) a dropped
+        connection is retried too — reconnect, fresh id, re-send.
+        """
         attempt = 0
+        drops = 0
         while True:
             try:
                 return await self._send(frame_for_id)
@@ -408,6 +524,13 @@ class AsyncLabelClient:
                 await asyncio.sleep(
                     _backoff_delay(attempt, busy.retry_after_ms, self.busy_base_delay)
                 )
+            except (ConnectionError, OSError):
+                if self._remote is None or self._closed:
+                    raise
+                drops += 1
+                if drops > self.reconnect_retries:
+                    raise
+                await self._reconnect(drops)
 
     # -- requests ------------------------------------------------------------
 
@@ -475,9 +598,24 @@ class AsyncLabelClient:
         outcomes: list = [None] * len(pairs)
         todo = list(range(len(pairs)))
         attempt = 0
+        drops = 0
+        reconnectable = self._remote is not None
         while todo:
-            futures = await self._pipeline_pass([pairs[i] for i in todo], name, window)
+            try:
+                futures = await self._pipeline_pass(
+                    [pairs[i] for i in todo], name, window
+                )
+            except (ConnectionError, OSError) as error:
+                if not reconnectable or self._closed:
+                    raise
+                drops += 1
+                if drops > self.reconnect_retries:
+                    raise error
+                await self._reconnect(drops)
+                continue
             busy: list[int] = []
+            dropped: list[int] = []
+            drop_error = None
             failure = None
             for slot, future in zip(todo, futures):
                 # retrieve every outcome before raising, so no failed future
@@ -488,19 +626,33 @@ class AsyncLabelClient:
                     outcomes[slot] = payload
                 elif isinstance(error, ServerBusy):
                     busy.append(slot)
+                elif isinstance(error, (ConnectionError, OSError)) and (
+                    reconnectable and not self._closed
+                ):
+                    # the connection died under this request (worker crash,
+                    # rolling reload) — unanswered, so safe to re-issue
+                    dropped.append(slot)
+                    drop_error = drop_error or error
                 elif failure is None:
                     failure = error
             if failure is not None:
                 raise failure
+            if dropped:
+                drops += 1
+                if drops > self.reconnect_retries:
+                    raise drop_error
+                await self._reconnect(drops)
+            else:
+                drops = 0
             if busy:
                 # no-progress rounds spend the retry budget; rounds that
                 # answered anything reset it (see LabelClient.pipeline)
-                attempt = attempt + 1 if len(busy) == len(todo) else 0
+                attempt = attempt + 1 if len(busy) + len(dropped) == len(todo) else 0
                 if attempt > self.busy_retries:
                     raise ServerBusy()
                 self.busy_retried += len(busy)
                 await asyncio.sleep(_backoff_delay(attempt, 1, self.busy_base_delay))
-            todo = busy
+            todo = sorted(busy + dropped)
         return [_unwrap(payload, raw)[0] for payload in outcomes]
 
     async def _pipeline_pass(self, pairs: list, name: str, window: int) -> list:
@@ -521,6 +673,16 @@ class AsyncLabelClient:
         backlog = bytearray()
         head = 0  # oldest future not yet awaited
         for index, (u, v) in enumerate(pairs):
+            if self._reader_task.done():
+                # the reader died mid-pass and already failed everything it
+                # knew about; registering more futures would leave them
+                # unresolved forever — fail them at birth instead
+                future = create_future()
+                future.set_exception(
+                    self._broken or ConnectionError("client connection is closed")
+                )
+                futures.append(future)
+                continue
             request_id = next(ids)
             future = create_future()
             waiting[request_id] = future

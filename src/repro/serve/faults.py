@@ -1,0 +1,165 @@
+"""Env-driven fault injection for the serving stack.
+
+Self-healing code is only trustworthy if its failure paths are exercised,
+so the workers can be told to misbehave on purpose::
+
+    REPRO_FAULTS=crash:p=0.01            # 1% of dispatches: os._exit(70)
+    REPRO_FAULTS=stall:ms=200            # every dispatch sleeps 200 ms
+    REPRO_FAULTS=crash:p=0.5:at=accept   # half of new connections kill us
+    REPRO_FAULTS=exit:after=250          # worker exits 250 ms after ready
+    REPRO_FAULTS=crash:at=start:slot=1   # slot 1 dies before its handshake
+    REPRO_FAULTS=crash:p=0.01,stall:ms=50   # clauses combine
+
+Grammar: comma-separated clauses, each ``kind[:key=value]*``.
+
+=========  =====================================================
+``crash``  ``os._exit(code)`` — an abrupt worker death the
+           supervisor must notice and repair.  Params: ``p``
+           (probability per firing, default 1), ``at``
+           (``dispatch`` | ``accept`` | ``start``, default
+           ``dispatch``), ``code`` (exit code, default 70),
+           ``slot`` (only this worker slot, default all).
+``stall``  ``time.sleep(ms / 1000)`` on the event loop — a
+           wedged worker that holds connections without
+           answering.  Params: ``ms`` (default 100), ``p``,
+           ``at`` (``dispatch`` | ``accept``), ``slot``.
+``exit``   schedule ``os._exit(code)`` ``after`` milliseconds
+           once the worker is serving — a deterministic crash
+           that needs no traffic (the crash-loop tests use it).
+           Params: ``after`` (default 0), ``code``, ``slot``.
+=========  =====================================================
+
+Firing points: ``dispatch`` is :meth:`ServingCore.handle_request` (one
+chance per decoded request), ``accept`` is the connection-made callback,
+``start`` is worker startup *before* the ready handshake (exercises the
+supervisor's partial-start paths).  ``p`` draws from a
+``random.Random(REPRO_FAULTS_SEED + slot)`` stream when the seed env var is
+set, so chaos runs are replayable.
+
+The plan is parsed once per process (workers inherit the environment at
+fork); with no ``REPRO_FAULTS`` set, :func:`plan_for` returns ``None`` and
+the serving hot path pays a single attribute check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+ENV_VAR = "REPRO_FAULTS"
+SEED_ENV_VAR = "REPRO_FAULTS_SEED"
+
+KINDS = ("crash", "stall", "exit")
+POINTS = ("dispatch", "accept", "start")
+
+#: exit code of an injected crash — distinctive in supervisor diagnostics
+CRASH_EXIT_CODE = 70
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``REPRO_FAULTS`` value."""
+
+
+class FaultClause:
+    """One parsed fault clause."""
+
+    __slots__ = ("kind", "p", "at", "ms", "after_ms", "code", "slot")
+
+    def __init__(self, kind: str, **params) -> None:
+        if kind not in KINDS:
+            raise FaultSpecError(f"unknown fault kind {kind!r} (expected {KINDS})")
+        self.kind = kind
+        self.p = float(params.pop("p", 1.0))
+        self.at = str(params.pop("at", "dispatch"))
+        self.ms = float(params.pop("ms", 100.0))
+        self.after_ms = float(params.pop("after", 0.0))
+        self.code = int(params.pop("code", CRASH_EXIT_CODE))
+        slot = params.pop("slot", None)
+        self.slot = None if slot is None else int(slot)
+        if params:
+            raise FaultSpecError(
+                f"unknown parameter(s) {sorted(params)} for fault {kind!r}"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise FaultSpecError(f"fault probability must be in [0, 1], got {self.p}")
+        if self.at not in POINTS:
+            raise FaultSpecError(f"unknown fault point {self.at!r} (expected {POINTS})")
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        extras = f":p={self.p:g}:at={self.at}"
+        if self.slot is not None:
+            extras += f":slot={self.slot}"
+        return f"<fault {self.kind}{extras}>"
+
+
+def parse_faults(spec: str) -> list[FaultClause]:
+    """Parse a ``REPRO_FAULTS`` value into clauses (empty list for '')."""
+    clauses: list[FaultClause] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        params: dict[str, str] = {}
+        for part in parts[1:]:
+            if "=" not in part:
+                raise FaultSpecError(
+                    f"fault parameter {part!r} is not key=value (in {chunk!r})"
+                )
+            key, value = part.split("=", 1)
+            params[key.strip()] = value.strip()
+        clauses.append(FaultClause(parts[0].strip(), **params))
+    return clauses
+
+
+class FaultPlan:
+    """The active fault clauses for one worker process."""
+
+    __slots__ = ("clauses", "_rng")
+
+    def __init__(self, clauses: list[FaultClause], slot: int = 0, seed=None) -> None:
+        self.clauses = clauses
+        if seed is None:
+            self._rng = random.Random()
+        else:
+            self._rng = random.Random(int(seed) + slot)
+
+    def fire(self, point: str) -> None:
+        """Run every clause bound to ``point`` (may sleep or never return)."""
+        for clause in self.clauses:
+            if clause.kind == "exit" or clause.at != point:
+                continue
+            if clause.p < 1.0 and self._rng.random() >= clause.p:
+                continue
+            if clause.kind == "stall":
+                time.sleep(clause.ms / 1000.0)
+            else:  # crash
+                os._exit(clause.code)
+
+    def exit_clause(self) -> FaultClause | None:
+        """The ``exit`` clause, if any (the worker schedules it itself)."""
+        for clause in self.clauses:
+            if clause.kind == "exit":
+                return clause
+        return None
+
+
+def plan_for(slot: int = 0, environ=None) -> FaultPlan | None:
+    """The fault plan for worker ``slot``, or ``None`` when faults are off.
+
+    Clauses scoped to a different slot are dropped here, so the serving hot
+    path never re-checks slot membership.
+    """
+    environ = os.environ if environ is None else environ
+    spec = environ.get(ENV_VAR, "")
+    if not spec:
+        return None
+    clauses = [
+        clause
+        for clause in parse_faults(spec)
+        if clause.slot is None or clause.slot == slot
+    ]
+    if not clauses:
+        return None
+    return FaultPlan(clauses, slot=slot, seed=environ.get(SEED_ENV_VAR))

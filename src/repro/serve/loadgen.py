@@ -20,16 +20,56 @@ for STATS, de-duplicates the payloads by worker id and merges them with
 the latency percentiles are recomputed from the concatenated per-worker
 reservoirs — an average of per-worker p50/p99 values is *not* a percentile
 of the fleet's latency distribution and is never reported.
+
+``chaos="kill-worker:t=2"`` turns a load run into a self-healing check
+against a *supervised* fleet on the same machine: every ``t`` seconds a
+probe connection asks INFO for the pid of whichever worker it landed on
+and SIGKILLs it mid-run.  The run must still answer every pair — the
+clients reconnect, the supervisor re-forks — and the report counts the
+kills next to the client ``reconnects`` that absorbed them.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import signal
 import time
 
 from repro.generators.workloads import pair_workload
 from repro.serve.client import AsyncLabelClient
 from repro.serve.metrics import merge_fleet_stats
+
+
+def parse_chaos(spec: str) -> tuple[str, float]:
+    """``(kind, interval_seconds)`` from a chaos spec like ``kill-worker:t=2``."""
+    kind, _, rest = spec.partition(":")
+    if kind != "kill-worker":
+        raise ValueError(f"unknown chaos kind {kind!r} (expected 'kill-worker')")
+    interval = 2.0
+    if rest:
+        key, _, value = rest.partition("=")
+        if key != "t":
+            raise ValueError(f"unknown chaos parameter {key!r} (expected 't')")
+        interval = float(value)
+    if interval <= 0:
+        raise ValueError("chaos interval must be positive")
+    return kind, interval
+
+
+async def _chaos_kill_workers(
+    host: str, port: int, interval: float, kills: list[int]
+) -> None:
+    """SIGKILL the worker behind a fresh probe connection every ``interval``."""
+    while True:
+        await asyncio.sleep(interval)
+        try:
+            async with await AsyncLabelClient.connect(host, port) as probe:
+                pid = (await probe.info())["worker"]
+            os.kill(pid, signal.SIGKILL)
+        except (ConnectionError, OSError):
+            continue  # mid-restart window; try again next tick
+        kills.append(pid)
 
 
 async def _run_load_async(
@@ -47,11 +87,13 @@ async def _run_load_async(
     family: str,
     tree_seed: int,
     hops: int,
+    chaos: str | None,
 ) -> dict:
     if connections < 1:
         raise ValueError("connections must be at least 1")
     if mode not in ("pipeline", "batch"):
         raise ValueError(f"unknown loadgen mode {mode!r}")
+    chaos_plan = parse_chaos(chaos) if chaos else None
     clients = [await AsyncLabelClient.connect(host, port) for _ in range(connections)]
     try:
         info = await clients[0].info()
@@ -76,26 +118,40 @@ async def _run_load_async(
         work = pair_workload(workload, target, pairs, seed, **params)
         shards = [work[index::connections] for index in range(connections)]
 
+        kills: list[int] = []
+        chaos_task = None
+        if chaos_plan is not None:
+            chaos_task = asyncio.get_running_loop().create_task(
+                _chaos_kill_workers(host, port, chaos_plan[1], kills)
+            )
         started = time.perf_counter()
-        if mode == "pipeline":
-            shard_results = await asyncio.gather(
-                *(
-                    client.pipeline(shard, name=name, raw=True, window=window)
-                    for client, shard in zip(clients, shards)
+        try:
+            if mode == "pipeline":
+                shard_results = await asyncio.gather(
+                    *(
+                        client.pipeline(shard, name=name, raw=True, window=window)
+                        for client, shard in zip(clients, shards)
+                    )
                 )
-            )
-        else:
-            # BATCH mode: window-sized OP_BATCH requests, all in flight at once
-            async def run_shard(client, shard):
-                chunks = [shard[pos : pos + window] for pos in range(0, len(shard), window)]
-                answered = await asyncio.gather(
-                    *(client.batch(chunk, name=name, raw=True) for chunk in chunks)
-                )
-                return [value for chunk in answered for value in chunk]
+            else:
+                # BATCH mode: window-sized OP_BATCH requests, all in flight at once
+                async def run_shard(client, shard):
+                    chunks = [shard[pos : pos + window] for pos in range(0, len(shard), window)]
+                    answered = await asyncio.gather(
+                        *(client.batch(chunk, name=name, raw=True) for chunk in chunks)
+                    )
+                    return [value for chunk in answered for value in chunk]
 
-            shard_results = await asyncio.gather(
-                *(run_shard(client, shard) for client, shard in zip(clients, shards))
-            )
+                shard_results = await asyncio.gather(
+                    *(run_shard(client, shard) for client, shard in zip(clients, shards))
+                )
+        finally:
+            if chaos_task is not None:
+                chaos_task.cancel()
+                try:
+                    await chaos_task
+                except asyncio.CancelledError:
+                    pass
         elapsed = max(time.perf_counter() - started, 1e-9)
         # every connection may face a different worker: collect all STATS
         # payloads and fold them into one fleet view (reservoirs merged)
@@ -104,13 +160,14 @@ async def _run_load_async(
         )
         stats = merge_fleet_stats(list(per_connection))
         busy_retried = sum(client.busy_retried for client in clients)
+        reconnects = sum(client.reconnects for client in clients)
     finally:
         for client in clients:
             await client.close()
 
     answered = sum(len(shard) for shard in shard_results)
     checksum = sum(value for shard in shard_results for value in shard if value is not None)
-    return {
+    report = {
         "host": host,
         "port": port,
         "member": name,
@@ -124,9 +181,13 @@ async def _run_load_async(
         "qps": round(answered / elapsed, 1),
         "checksum": round(checksum, 4),
         "busy_retried": busy_retried,
+        "reconnects": reconnects,
         "workers": stats["workers"],
         "server": stats,
     }
+    if chaos_plan is not None:
+        report["chaos"] = {"spec": chaos, "kills": len(kills), "pids": kills}
+    return report
 
 
 def run_load(
@@ -144,6 +205,7 @@ def run_load(
     family: str = "random",
     tree_seed: int = 0,
     hops: int = 4,
+    chaos: str | None = None,
 ) -> dict:
     """Drive a serve endpoint and return a metrics dict.
 
@@ -155,7 +217,9 @@ def run_load(
     ``family``/``tree_seed`` and the server-reported node count; ``hops``
     bounds the khop walk.  ``report["server"]`` is the fleet-merged STATS
     view; ``report["workers"]`` counts the distinct workers the
-    connections reached.
+    connections reached.  ``chaos`` (e.g. ``"kill-worker:t=2"``) SIGKILLs
+    a worker pid every ``t`` seconds mid-run — only meaningful against a
+    supervised fleet on this machine.
     """
     return asyncio.run(
         _run_load_async(
@@ -172,5 +236,6 @@ def run_load(
             family=family,
             tree_seed=tree_seed,
             hops=hops,
+            chaos=chaos,
         )
     )

@@ -25,7 +25,9 @@ def percentile(samples: list[float], fraction: float) -> float:
     return ordered[rank]
 
 
-#: STATS counters that add across workers
+#: STATS counters that add across workers.  ``restarts`` is per-slot (each
+#: incarnation reports how many times its slot was restarted), so the sum
+#: over one snapshot per slot is the fleet's total restart count.
 _SUMMED_COUNTERS = (
     "queries",
     "batch_requests",
@@ -39,6 +41,7 @@ _SUMMED_COUNTERS = (
     "pending",
     "connections_open",
     "connections_total",
+    "restarts",
 )
 
 
@@ -75,6 +78,19 @@ def merge_fleet_stats(stats_list: list[dict]) -> dict:
     tiers = sorted({stats["kernel"] for stats in workers if stats.get("kernel")})
     if tiers:
         merged["kernel"] = tiers[0] if len(tiers) == 1 else ",".join(tiers)
+    # store generation per worker; uniform once a rolling reload completes,
+    # and a comma-joined set mid-roll — a probe can watch the flip happen
+    generations = sorted(
+        {
+            stats["store_generation"]
+            for stats in workers
+            if stats.get("store_generation")
+        }
+    )
+    if generations:
+        merged["store_generation"] = (
+            generations[0] if len(generations) == 1 else ",".join(generations)
+        )
 
     # fleet latency: concatenate the per-worker reservoirs, then estimate
     reservoir: list[float] = []
@@ -90,6 +106,9 @@ def merge_fleet_stats(stats_list: list[dict]) -> dict:
     merged["per_worker"] = [
         {
             "worker": stats.get("worker"),
+            "slot": stats.get("slot", 0),
+            "restarts": stats.get("restarts", 0),
+            "uptime_seconds": stats.get("uptime_seconds", 0.0),
             "qps": stats.get("qps", 0.0),
             "queries": stats.get("queries", 0),
             "busy_rejections": stats.get("busy_rejections", 0),

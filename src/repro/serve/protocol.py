@@ -26,8 +26,11 @@ PROTOCOL_VERSION = 1
 
 #: additive capabilities inside RSP/1, advertised in the INFO payload so a
 #: client can feature-detect without a version bump: existing message
-#: encodings never change, new response opcodes only ever ride on them
-PROTOCOL_FEATURES = ("busy",)
+#: encodings never change, new response opcodes only ever ride on them.
+#: ``generation`` means INFO carries the served store's generation (content
+#: hash + path) and STATS its ``store_generation`` — the fields rolling
+#: reloads flip, so clients can observe a re-encoded store going live.
+PROTOCOL_FEATURES = ("busy", "generation")
 
 #: hard ceiling on one frame's body, server- and client-side (a matrix
 #: response over a few thousand nodes fits comfortably; anything larger is

@@ -1,0 +1,89 @@
+"""Retry and restart policy shared by the clients and the fleet supervisor.
+
+One backoff shape for every retry loop in :mod:`repro.serve`: exponential
+growth with **full jitter**.  A deterministic backoff would march every shed
+client (or every crashed worker slot) back in lockstep, re-creating the very
+burst that caused the shed — jitter spreads the retries out.
+
+Two consumers:
+
+* the clients (:mod:`repro.serve.client`) retry BUSY-shed requests and
+  broken connections with :func:`backoff_delay`;
+* the supervisor (:mod:`repro.serve.supervisor`) re-forks crashed workers
+  under a :class:`RestartPolicy` — the same exponential-plus-jitter delay
+  with a larger cap, plus the crash-loop circuit breaker (more than
+  ``max_restarts`` deaths of the same slot inside ``window_seconds`` means
+  the slot is beyond restarting and the fleet is torn down instead of
+  flapping forever).
+"""
+
+from __future__ import annotations
+
+import random
+
+#: client-side retry delays are capped so a long backoff run cannot stall a
+#: caller; the supervisor uses a larger cap (restarts are rare and a crashed
+#: worker's siblings keep serving meanwhile)
+CLIENT_MAX_BACKOFF_SECONDS = 0.25
+
+
+def backoff_delay(
+    attempt: int,
+    retry_after_ms: int = 1,
+    base_delay: float = 0.002,
+    max_delay: float = CLIENT_MAX_BACKOFF_SECONDS,
+) -> float:
+    """Jittered exponential backoff seeded by the server's retry hint.
+
+    Full jitter (``uniform(0.5, 1.5) * 2^attempt * base``), capped at
+    ``max_delay`` before the jitter is applied.
+    """
+    base = max(retry_after_ms / 1000.0, base_delay)
+    delay = min(max_delay, base * (1 << max(0, attempt - 1)))
+    return delay * (0.5 + random.random())
+
+
+class RestartPolicy:
+    """When (and how fast) the supervisor re-forks a dead worker slot.
+
+    ``max_restarts`` deaths of the same slot inside a sliding
+    ``window_seconds`` window is a **crash loop**: the slot's problem is not
+    transient (bad store file, deterministic fault, OOM on every start) and
+    restarting would flap forever, so the supervisor tears the fleet down
+    with a diagnostic summary instead.  Deaths older than the window are
+    forgotten — a worker that crashes once a day restarts forever.
+    """
+
+    __slots__ = ("max_restarts", "window_seconds", "base_delay", "max_delay")
+
+    def __init__(
+        self,
+        max_restarts: int = 5,
+        window_seconds: float = 30.0,
+        base_delay: float = 0.05,
+        max_delay: float = 5.0,
+    ) -> None:
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be at least 1")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.max_restarts = max_restarts
+        self.window_seconds = window_seconds
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+
+    def backoff(self, deaths: int) -> float:
+        """Delay before the ``deaths``-th re-fork of a slot."""
+        return backoff_delay(
+            deaths, 0, base_delay=self.base_delay, max_delay=self.max_delay
+        )
+
+    def is_crash_loop(self, deaths_in_window: int) -> bool:
+        """True when a slot has died too often to keep restarting it."""
+        return deaths_in_window > self.max_restarts
+
+    def describe(self) -> dict:
+        return {
+            "max_restarts": self.max_restarts,
+            "window_seconds": self.window_seconds,
+        }

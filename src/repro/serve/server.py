@@ -55,7 +55,7 @@ from repro import kernels
 from repro.api.catalog import CatalogError, IndexCatalog
 from repro.api.index import DistanceIndex
 from repro.scale.memory import current_rss_bytes
-from repro.serve import protocol
+from repro.serve import faults, protocol
 from repro.serve.metrics import percentile
 from repro.store.label_store import StoreError
 
@@ -99,6 +99,9 @@ class ServingCore:
         max_pending: int = 65536,
         max_matrix_inflight: int = 2,
         pair_cache: int = 0,
+        slot: int = 0,
+        restarts: int = 0,
+        generation: dict | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -136,6 +139,16 @@ class ServingCore:
         self._flush_scheduled = False
         self._dirty: list[_Member] = []
         self._matrix_inflight = 0
+        #: supervision metadata: which fleet slot this worker occupies, how
+        #: many times that slot has been restarted, and the generation
+        #: (content hash + path) of the served store file — all reported in
+        #: STATS/INFO so clients can observe restarts and rolling reloads
+        self.slot = slot
+        self.restarts = restarts
+        self.generation = generation
+        self._faults = faults.plan_for(slot)
+        #: open _Connection objects, so a draining worker can close them
+        self._connections: set = set()
 
         # -- serving statistics ------------------------------------------
         self.started_at = time.monotonic()
@@ -183,12 +196,17 @@ class ServingCore:
                 }
         else:
             members[""] = dict(self._members[""].index.describe(), open=True)
-        return {
+        payload = {
             "protocol": protocol.PROTOCOL_VERSION,
             "features": list(protocol.PROTOCOL_FEATURES),
             "worker": os.getpid(),
+            "slot": self.slot,
+            "restarts": self.restarts,
             "members": members,
         }
+        if self.generation is not None:
+            payload["store"] = dict(self.generation)
+        return payload
 
     def stats(self, name: str = "", include_reservoir: bool = False) -> dict:
         """The STATS payload; ``name`` adds one member's index statistics.
@@ -207,6 +225,8 @@ class ServingCore:
         answered = self.queries + self.batch_request_pairs
         payload = {
             "worker": os.getpid(),
+            "slot": self.slot,
+            "restarts": self.restarts,
             "uptime_seconds": round(elapsed, 3),
             "queries": self.queries,
             "batch_requests": self.batch_requests,
@@ -233,6 +253,8 @@ class ServingCore:
             },
             "coalescing": self.coalesce,
         }
+        if self.generation is not None:
+            payload["store_generation"] = self.generation.get("generation")
         if include_reservoir:
             payload["latency_ms"]["reservoir"] = [
                 round(sample * 1000, 4) for sample in samples
@@ -377,6 +399,8 @@ class ServingCore:
 
     def handle_request(self, connection, body: bytes) -> None:
         """Dispatch one decoded frame from ``connection``."""
+        if self._faults is not None:
+            self._faults.fire("dispatch")
         op, request_id, name, payload = protocol.decode_request(body)
         try:
             if op == protocol.OP_QUERY:
@@ -434,6 +458,33 @@ class ServingCore:
             message = error.args[0] if error.args else str(error)
             connection.send(protocol.encode_error(request_id, str(message)))
 
+    # -- graceful drain (used by the supervisor's worker shutdown path) --------
+
+    async def drain(self, timeout: float = 5.0) -> bool:
+        """Wait for queued queries and in-flight matrices to finish.
+
+        Called after the listener is closed: nothing new can arrive, so once
+        the coalescer queue and the matrix executor are empty every accepted
+        request has been answered.  Returns ``False`` on timeout.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self.pending_total or self._matrix_inflight:
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
+
+    def close_connections(self) -> None:
+        """Close every open client connection (pending writes are flushed).
+
+        Clients see a clean EOF and reconnect — to a sibling worker or to
+        this worker's replacement (reconnect-on-EOF is a retryable event in
+        both clients).
+        """
+        for connection in list(self._connections):
+            connection.close_gracefully()
+
 
 class _Connection(asyncio.Protocol):
     """One client connection: frame splitting and response writing."""
@@ -449,13 +500,17 @@ class _Connection(asyncio.Protocol):
     # -- asyncio.Protocol hooks ----------------------------------------------
 
     def connection_made(self, transport) -> None:
+        if self._core._faults is not None:
+            self._core._faults.fire("accept")
         self._transport = transport
         self._core.connections_total += 1
         self._core.connections_open += 1
+        self._core._connections.add(self)
 
     def connection_lost(self, exc) -> None:
         self.closed = True
         self._core.connections_open -= 1
+        self._core._connections.discard(self)
 
     def data_received(self, data: bytes) -> None:
         try:
@@ -477,6 +532,11 @@ class _Connection(asyncio.Protocol):
         if self._transport is not None:
             self._transport.close()
         self.closed = True
+
+    def close_gracefully(self) -> None:
+        """Close after flushing buffered responses (drain path)."""
+        if self._transport is not None:
+            self._transport.close()
 
 
 class LabelServer(ServingCore):

@@ -276,15 +276,35 @@ def test_bad_query_does_not_poison_coalesced_batch(catalog, tree):
     _run(_with_server(catalog, handler))
 
 
-def test_async_client_fails_fast_after_connection_loss(catalog, tree):
+def test_async_client_reconnects_after_connection_loss(catalog, tree):
     async def handler(server, client, host, port):
+        expected = catalog.query("exact", 0, 2)
         assert await client.query(0, 1, name="exact")  # connection works
         client._writer.close()  # simulate the peer going away
         await asyncio.sleep(0.05)  # let the reader task observe EOF
-        with pytest.raises(ConnectionError):
-            await client.query(0, 2, name="exact")
-        with pytest.raises(ConnectionError):
-            await client.pipeline([(0, 1)], name="exact")
+        # connect()-built clients know their address: the drop is retryable
+        assert await client.query(0, 2, name="exact") == expected
+        assert client.reconnects == 1
+        assert await client.pipeline([(0, 1)], name="exact")
+        assert client.reconnects == 1  # healed connection reused, no churn
+
+    _run(_with_server(catalog, handler))
+
+
+def test_async_client_without_address_fails_fast(catalog, tree):
+    async def handler(server, client, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        raw = AsyncLabelClient(reader, writer)  # no address -> no reconnect
+        try:
+            assert await raw.query(0, 1, name="exact")
+            writer.close()
+            await asyncio.sleep(0.05)
+            with pytest.raises(ConnectionError):
+                await raw.query(0, 2, name="exact")
+            with pytest.raises(ConnectionError):
+                await raw.pipeline([(0, 1)], name="exact")
+        finally:
+            await raw.close()
 
     _run(_with_server(catalog, handler))
 

@@ -523,7 +523,10 @@ def test_cli_fleet_sigterm_tears_down_all_workers(store_file, tree, index):
     prints the fleet summary, and leaves no orphan worker processes."""
     process, host, port, ready = _spawn_cli_serve(store_file, "--workers", "2")
     try:
-        pids = [int(p) for p in re.search(r"pids=([0-9,]+)", ready).group(1).split(",")]
+        pids = [
+            int(p)
+            for p in re.search(r"pids=([0-9]+(?:,[0-9]+)*)", ready).group(1).split(",")
+        ]
         assert len(pids) == 2
         pairs = random_pairs(tree, 150, seed=29)
         with LabelClient(host, port) as client:
