@@ -7,11 +7,13 @@ call and one response write per connection.  This runner measures what that
 is worth end to end: a real ``repro-labels serve`` subprocess on loopback,
 driven by the shared load generator (:mod:`repro.serve.loadgen`) under
 uniform and Zipf-skewed workloads, against the same server started with
-``--no-coalesce`` (the naive one-request-per-batch path).  Two further
+``--no-coalesce`` (the naive one-request-per-batch path).  Three further
 sections cover the scale-out features: ``multi_worker`` runs the same
 workload against ``--workers 1/2/4`` fleets (SO_REUSEPORT shard-per-core
-supervisor) and ``response_cache`` measures ``--pair-cache`` on the
-Zipf-skewed workload.
+supervisor), ``response_cache`` measures ``--pair-cache`` on the
+Zipf-skewed workload, and ``observability`` records the throughput cost of
+request tracing at a 1% sample rate (advisory <= 5% gate — recorded, never
+raising).
 
 ``python benchmarks/bench_serve_throughput.py`` writes
 ``BENCH_serve_throughput.json`` at the repo root; the recorded gates are
@@ -106,7 +108,7 @@ def shutdown_server(process) -> str:
 def _measure(store_path: str, *, coalesce: bool, workload: str, pairs: int,
              connections: int, window: int, skew: float = 1.1, seed: int = 0,
              warmup: int = 0, repeats: int = 1, workers: int = 1,
-             pair_cache: int = 0) -> dict:
+             pair_cache: int = 0, trace_every: int = 0) -> dict:
     """Drive one server mode; optional warmup pass and best-of-``repeats``.
 
     The warmup pass parses every touched label into the engine's LRU before
@@ -134,6 +136,7 @@ def _measure(store_path: str, *, coalesce: bool, workload: str, pairs: int,
                 connections=connections,
                 window=window,
                 seed=seed,
+                trace_every=trace_every,
             )
             if report is None or candidate["qps"] > report["qps"]:
                 report = candidate
@@ -155,6 +158,7 @@ def _measure(store_path: str, *, coalesce: bool, workload: str, pairs: int,
         "flushes": server["flushes"],
         "cache_hit_rate": index_stats.get("cache_hit_rate"),
         "pair_cache_hit_rate": pair_cache.get("hit_rate") if pair_cache.get("enabled") else None,
+        "tracing": report.get("tracing"),
         "shutdown": shutdown,
     }
 
@@ -222,6 +226,29 @@ def test_multi_worker_fleet_round_trip(tmp_path):
         assert rows[workers]["shutdown"].startswith("shutdown:")
     assert rows[1]["checksum"] == rows[2]["checksum"]
     assert rows[2]["workers"] >= 1  # distinct workers reached by loadgen
+
+
+def test_traced_loadgen_round_trip(tmp_path):
+    """A 1-in-50 traced run answers identically and folds a per-stage
+    breakdown of real sampled requests into the report."""
+    tree = make_tree("random", 200, seed=23)
+    DistanceIndex.build(tree, "freedman").save(str(tmp_path / "t.bin"))
+    rows = {}
+    for label, trace_every in (("off", 0), ("on", 50)):
+        rows[label] = _measure(
+            str(tmp_path / "t.bin"),
+            coalesce=True,
+            workload="uniform",
+            pairs=400,
+            connections=2,
+            window=32,
+            trace_every=trace_every,
+        )
+    assert rows["off"]["checksum"] == rows["on"]["checksum"]
+    assert rows["off"]["tracing"] is None
+    tracing = rows["on"]["tracing"]
+    assert tracing["collected"] >= 1
+    assert "batch" in tracing["stages"]
 
 
 def test_response_cache_round_trip(tmp_path):
@@ -345,6 +372,46 @@ def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
             cache_json["pair_cache"]["qps"] / cache_json["uncached"]["qps"], 2
         )
 
+        # -- observability: tracing overhead at a 1% sample rate ----------
+        # Same server config, same workload, with and without every-100th
+        # request stamped for server-side span recording.  Advisory gate
+        # (recorded, never raising): machine noise on a saturated loopback
+        # can exceed the few microseconds a sampled trace costs.
+        obs_json = {"sample_every": 100}
+        for label, trace_every in (("tracing_off", 0), ("tracing_on", 100)):
+            obs_json[label] = _measure(
+                store_path,
+                coalesce=True,
+                workload="uniform",
+                pairs=pairs,
+                connections=connections,
+                window=window,
+                warmup=warmup,
+                repeats=repeats,
+                trace_every=trace_every,
+            )
+        if obs_json["tracing_off"]["checksum"] != obs_json["tracing_on"]["checksum"]:
+            raise AssertionError("tracing changed query answers")
+        overhead_pct = round(
+            max(
+                0.0,
+                1.0 - obs_json["tracing_on"]["qps"] / obs_json["tracing_off"]["qps"],
+            )
+            * 100.0,
+            2,
+        )
+        obs_json["gate"] = {
+            "description": (
+                "pipelined loadgen with every 100th request traced "
+                "(server-side span recording) vs the same run untraced; "
+                "advisory only — recorded, never raising"
+            ),
+            "overhead_pct": overhead_pct,
+            "required_max_pct": 5.0,
+            "enforced": False,
+            "pass": overhead_pct <= 5.0,
+        }
+
     speedup = workloads_json["uniform"]["speedup"]
     top_workers = str(worker_counts[-1])
     scaling_speedup = scaling_json["workers"][top_workers]["speedup_vs_1"]
@@ -381,6 +448,7 @@ def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
         "workloads": workloads_json,
         "multi_worker": dict(scaling_json, gate=scaling_gate),
         "response_cache": cache_json,
+        "observability": obs_json,
         "gate": {
             "description": (
                 "repro-labels serve (micro-batched coalescer) vs the same "
@@ -409,6 +477,10 @@ def run_perf_json(smoke: bool = False, out: str | None = None) -> dict:
     print(
         f"response cache (zipf): {cache_json['speedup']}x, hit rate "
         f"{cache_json['pair_cache']['pair_cache_hit_rate']}"
+    )
+    print(
+        f"tracing overhead at 1% sampling: {overhead_pct}% "
+        f"(advisory <= 5%, pass={obs_json['gate']['pass']})"
     )
     if scaling_gate["enforced"] and not scaling_gate["pass"]:
         raise AssertionError(

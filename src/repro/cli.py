@@ -39,7 +39,14 @@ pre-forks a shard-per-core fleet sharing the port, ``--max-pending`` bounds
 the per-worker queue (overload is shed with BUSY and clients retry), and
 ``--pair-cache`` answers repeated hot pairs straight from a response cache.
 ``loadgen`` reports client-side throughput and the fleet-merged server
-statistics (latency percentiles from merged per-worker reservoirs).
+statistics (latency percentiles from bucket-wise merged histograms).
+
+The observability plane rides on the same endpoint::
+
+    repro-labels serve labels.bin --workers 4 --metrics-port 9117 --slow-ms 5
+    curl http://127.0.0.1:9117/metrics          # Prometheus text exposition
+    repro-labels loadgen --port 7117 --trace-every 100   # per-stage breakdown
+    repro-labels trace --port 7117              # recent traces + slow log
 
 The experiment commands mirror the index of DESIGN.md so every table and
 figure of the paper can be regenerated from the shell::
@@ -241,6 +248,20 @@ def build_parser() -> argparse.ArgumentParser:
         "shed with BUSY and clients retry with jittered backoff",
     )
     serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="expose a Prometheus text /metrics endpoint on this port "
+        "(fleet mode scrapes every worker live per GET)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None,
+        help="log queries slower than this many milliseconds to the "
+        "per-worker slow-query log (see the trace command)",
+    )
+    serve.add_argument(
+        "--trace-ring", type=int, default=256,
+        help="recent traced requests kept per worker for the trace command",
+    )
+    serve.add_argument(
         "--max-restarts", type=int, default=5,
         help="fleet mode: restarts allowed per worker slot inside the "
         "restart window before the supervisor declares a crash loop and "
@@ -305,6 +326,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos mode, e.g. 'kill-worker:t=2': SIGKILL the worker behind "
         "a fresh probe connection every t seconds mid-run (supervised "
         "fleets on this machine only); the run must still answer every pair",
+    )
+    loadgen.add_argument(
+        "--trace-every", type=int, default=0,
+        help="stamp every Nth pipelined request with a trace id and print "
+        "the per-stage server latency breakdown after the run (0 disables)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="fetch recent request traces and the slow-query log from a "
+        "serving fleet",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=7117)
+    trace.add_argument(
+        "--probes", type=int, default=4,
+        help="probe connections to open; with SO_REUSEPORT each may land "
+        "on a different worker, so more probes see more of the fleet",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=8,
+        help="recent traces to show per worker (0 = the whole ring)",
+    )
+    trace.add_argument(
+        "--no-slow", action="store_true", help="skip the slow-query log"
     )
 
     return parser
@@ -556,6 +602,7 @@ def _serve_single(args, server_config: dict) -> str:
     import asyncio
     import signal
 
+    from repro.obs.profile import install_profile_hook
     from repro.serve import LabelServer
     from repro.serve.supervisor import open_serve_target, store_generation
 
@@ -564,11 +611,30 @@ def _serve_single(args, server_config: dict) -> str:
         target, generation=store_generation(args.target), **server_config
     )
 
+    def render_metrics() -> str:
+        from repro.obs.prom import fleet_registry, render
+
+        return render(fleet_registry(server.stats(detail=True)))
+
     async def run() -> None:
         host, port = await server.start(args.host, args.port)
         mode = "micro-batched" if server.coalesce else "naive (no coalescing)"
         print(f"serving {description} on {host}:{port} [{mode}]", flush=True)
         loop = asyncio.get_running_loop()
+        install_profile_hook(
+            loop,
+            generation=(server.generation or {}).get("generation"),
+        )
+        metrics = None
+        if args.metrics_port is not None:
+            from repro.obs.prom import MetricsServer
+
+            metrics = MetricsServer(render_metrics, args.host, args.metrics_port)
+            metrics_host, metrics_bound = metrics.start()
+            print(
+                f"metrics on http://{metrics_host}:{metrics_bound}/metrics",
+                flush=True,
+            )
         stop = asyncio.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
@@ -581,6 +647,8 @@ def _serve_single(args, server_config: dict) -> str:
         serving.cancel()
         stopping.cancel()
         await server.stop()
+        if metrics is not None:
+            metrics.stop()
         if serving.done() and not serving.cancelled() and serving.exception():
             # a crashed server must not masquerade as a clean shutdown
             raise serving.exception()
@@ -628,6 +696,13 @@ def _serve_fleet(args, server_config: dict) -> str:
         f"generation={supervisor.generation['generation']}]",
         flush=True,
     )
+    if args.metrics_port is not None:
+        metrics_host, metrics_bound = supervisor.start_metrics(
+            args.metrics_port, args.host
+        )
+        print(
+            f"metrics on http://{metrics_host}:{metrics_bound}/metrics", flush=True
+        )
 
     stop = threading.Event()
     reload_requested = threading.Event()
@@ -704,6 +779,8 @@ def _serve(args) -> str:
         "max_batch": args.max_batch,
         "max_pending": args.max_pending,
         "pair_cache": args.pair_cache,
+        "slow_ms": args.slow_ms,
+        "trace_ring": args.trace_ring,
     }
     if args.workers == 1:
         return _serve_single(args, server_config)
@@ -756,6 +833,60 @@ def _fleet_status(args) -> str:
     return "\n".join(lines)
 
 
+def _trace(args) -> str:
+    """Fetch recent traces and the slow-query log from a live server/fleet."""
+    from repro.serve.client import LabelClient
+
+    if args.probes < 1:
+        raise ValueError("--probes must be at least 1")
+    clients = []
+    snapshots: dict[int, dict] = {}
+    try:
+        # like fleet-status: hold every probe open so connections spread
+        # across workers, then dedupe the rings by worker pid
+        for _ in range(args.probes):
+            client = LabelClient(args.host, args.port)
+            clients.append(client)
+            snapshot = client.trace(limit=args.limit, slow=not args.no_slow)
+            snapshots[snapshot.get("worker", len(snapshots))] = snapshot
+    finally:
+        for client in clients:
+            client.close()
+
+    def span_line(trace: dict) -> str:
+        spans = " ".join(
+            f"{span['stage']}={span['ms']:.3f}ms" for span in trace.get("spans", ())
+        )
+        return (
+            f"    #{trace.get('trace_id')} {trace.get('op')} "
+            f"{trace.get('member') or '(default)'} "
+            f"total {trace.get('total_ms', 0.0):.3f}ms: {spans}"
+        )
+
+    lines = []
+    for worker, snapshot in sorted(snapshots.items()):
+        slow_ms = snapshot.get("slow_ms")
+        lines.append(
+            f"worker {worker} slot {snapshot.get('slot', 0)} "
+            f"gen {snapshot.get('store_generation') or '(none)'}: "
+            f"{snapshot.get('recorded', 0)} trace(s) recorded, "
+            f"ring {snapshot.get('ring', 0)}, slow threshold "
+            + (f"{slow_ms:g}ms" if slow_ms is not None else "off")
+        )
+        for trace in snapshot.get("traces", ()):
+            lines.append(span_line(trace))
+        slow = snapshot.get("slow", ())
+        if slow:
+            lines.append(
+                f"  slow log ({snapshot.get('slow_recorded', 0)} total):"
+            )
+            for trace in slow:
+                lines.append("  " + span_line(trace))
+    if not lines:
+        lines.append("no workers answered the trace probes")
+    return "\n".join(lines)
+
+
 def _loadgen(args) -> str:
     from repro.serve.loadgen import run_load
 
@@ -774,6 +905,7 @@ def _loadgen(args) -> str:
         tree_seed=args.tree_seed,
         hops=args.hops,
         chaos=args.chaos,
+        trace_every=args.trace_every,
     )
     server = report["server"]
     latency = server["latency_ms"]
@@ -791,7 +923,7 @@ def _loadgen(args) -> str:
         f"(checksum {report['checksum']:g}{busy})",
         f"server fleet ({report['workers']} worker(s)): "
         f"{server['qps']:,.0f} q/s lifetime, "
-        f"merged-reservoir p50 {latency['p50']:.3f}ms p99 {latency['p99']:.3f}ms, "
+        f"merged p50 {latency['p50']:.3f}ms p99 {latency['p99']:.3f}ms, "
         f"mean coalesced batch {server['mean_batch_size']}, "
         f"{server['busy_rejections']} busy-shed",
     ]
@@ -802,6 +934,25 @@ def _loadgen(args) -> str:
             f"(pids {','.join(str(pid) for pid in chaos['pids'])}); "
             f"fleet answered every pair regardless"
         )
+    if report.get("tracing"):
+        from repro.obs.trace import STAGES
+
+        tracing = report["tracing"]
+        lines.append(
+            f"tracing 1/{tracing['sample_every']}: "
+            f"{tracing['collected']}/{tracing['requested']} sampled traces "
+            f"collected, mean total {tracing['mean_total_ms']:.3f}ms"
+        )
+        lines.append(f"  {'stage':<8} {'count':>7} {'mean_ms':>9} {'max_ms':>9}")
+        stage_rows = tracing.get("stages", {})
+        ordered = [s for s in STAGES if s in stage_rows]
+        ordered += [s for s in sorted(stage_rows) if s not in STAGES]
+        for stage in ordered:
+            row = stage_rows[stage]
+            lines.append(
+                f"  {stage:<8} {row['count']:>7} "
+                f"{row['mean_ms']:>9.3f} {row['max_ms']:>9.3f}"
+            )
     if report["workers"] > 1:
         for row in server.get("per_worker", ()):
             lines.append(
@@ -844,7 +995,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     elif args.command in (
         "encode", "build", "query", "catalog", "serve", "loadgen",
-        "fleet-status", "kernels",
+        "fleet-status", "trace", "kernels",
     ):
         from repro.api import CatalogError, SpecError
         from repro.store import StoreError
@@ -857,6 +1008,7 @@ def main(argv: list[str] | None = None) -> int:
             "serve": _serve,
             "loadgen": _loadgen,
             "fleet-status": _fleet_status,
+            "trace": _trace,
             "kernels": _kernels,
         }
         try:

@@ -1,0 +1,100 @@
+"""A small metric registry: counters, gauges, histograms, info labels.
+
+This is deliberately a subset of the Prometheus client-library data model —
+just enough structure that :mod:`repro.obs.prom` can render a well-formed
+text exposition and tests can assert on typed samples, with no third-party
+dependency:
+
+* a :class:`Registry` holds :class:`MetricFamily` objects in registration
+  order;
+* a family has a ``name``, a ``kind`` (``counter`` / ``gauge`` /
+  ``histogram`` / ``info``), help text, and labelled samples;
+* histogram samples carry a :class:`repro.obs.hist.Histogram` and expand to
+  cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series at render
+  time, so bucket counts are monotone by construction.
+
+The serving fleet does not mutate live metric objects on the hot path — the
+workers keep plain counters and histograms, and the supervisor's scrape
+builds a fresh registry from merged STATS payloads per scrape (see
+:func:`repro.obs.prom.fleet_registry`).  The registry is the stable,
+renderable shape in between.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.hist import Histogram
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+KINDS = ("counter", "gauge", "histogram", "info")
+
+
+class MetricFamily:
+    """One named metric with typed, labelled samples."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if kind not in KINDS:
+            raise ValueError(f"unknown metric kind {kind!r} (expected {KINDS})")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        #: list of (labels_dict, value) — value is a number, or a
+        #: :class:`Histogram` for histogram families
+        self.samples: list[tuple[dict, object]] = []
+
+    def add(self, value, **labels) -> None:
+        """Add one sample; histogram families take a :class:`Histogram`."""
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if self.kind == "histogram":
+            if not isinstance(value, Histogram):
+                raise TypeError("histogram families sample Histogram objects")
+        elif not isinstance(value, (int, float)):
+            raise TypeError(f"{self.kind} families sample numbers")
+        self.samples.append((dict(labels), value))
+
+
+class Registry:
+    """An ordered collection of metric families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def family(self, name: str, kind: str, help_text: str = "") -> MetricFamily:
+        """Get-or-create a family (kind must match on reuse)."""
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help_text)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    # -- one-shot conveniences (build a snapshot registry in a few lines) -----
+
+    def counter(self, name: str, help_text: str, value, **labels) -> None:
+        self.family(name, "counter", help_text).add(value, **labels)
+
+    def gauge(self, name: str, help_text: str, value, **labels) -> None:
+        self.family(name, "gauge", help_text).add(value, **labels)
+
+    def histogram(self, name: str, help_text: str, hist: Histogram, **labels) -> None:
+        self.family(name, "histogram", help_text).add(hist, **labels)
+
+    def info(self, name: str, help_text: str, **labels) -> None:
+        """An info-style metric: constant 1 whose labels carry the payload."""
+        self.family(name, "info", help_text).add(1, **labels)
+
+    def collect(self) -> list[MetricFamily]:
+        """Families in registration order (the render order)."""
+        return list(self._families.values())

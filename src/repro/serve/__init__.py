@@ -33,11 +33,19 @@ the missing network surface on top of the ``LabelStore`` → ``parse_many`` →
   crashes/stalls honored at worker dispatch/accept/start points, plus the
   loadgen's ``chaos`` mode, so the supervision paths are tested instead of
   trusted;
+* observability (:mod:`repro.obs`) — per-request tracing with
+  per-stage spans (decode/queue/batch/encode/write), log-spaced latency
+  histograms merged bucket-wise across the fleet, a Prometheus text
+  endpoint (``serve --metrics-port``), a slow-query log
+  (``serve --slow-ms``) and an opt-in ``cProfile`` window
+  (``REPRO_PROFILE`` / SIGUSR2);
 * the wire protocol (:mod:`repro.serve.protocol`), summarised below.
 
 On the command line: ``repro-labels serve <store-or-catalog>
-[--workers N]``, ``repro-labels loadgen [--chaos kill-worker:t=2]`` and
-``repro-labels fleet-status`` (see ``repro-labels serve --help``).
+[--workers N] [--metrics-port P]``, ``repro-labels loadgen
+[--chaos kill-worker:t=2] [--trace-every N]``, ``repro-labels
+fleet-status`` and ``repro-labels trace`` (see ``repro-labels serve
+--help``).
 
 Wire protocol (RSP/1)
 ---------------------
@@ -55,18 +63,22 @@ a coalescing server may answer them out of order.
 Request payloads (``name`` is a uvarint-length-prefixed UTF-8 member name;
 empty selects the sole index of a single-store server)::
 
-    QUERY  (0x01)  name u:uvarint v:uvarint
-    BATCH  (0x02)  name count:uvarint (u:uvarint v:uvarint){count}
+    QUERY  (0x01)  name u:uvarint v:uvarint [trace]
+    BATCH  (0x02)  name count:uvarint (u:uvarint v:uvarint){count} [trace]
     MATRIX (0x03)  name count:uvarint explicit:u8 node:uvarint{count}
                    -- explicit=0 means "all nodes" (count is then 0)
-    STATS  (0x04)  name        -- empty name = server-wide counters only
+    STATS  (0x04)  name [detail:u8]  -- empty name = server-wide counters
     INFO   (0x05)              -- no payload
+    TRACE  (0x06)  limit:uvarint slow:u8  -- recent traces + slow log
+
+    trace  :=  0x01 trace_id:uvarint      -- optional trailing suffix
 
 Response payloads::
 
     RESULT       (0x81)  kind:u8 [ratio:f64be] count:uvarint value{count}
     STATS_RESULT (0x83)  len:uvarint json-utf8
     INFO_RESULT  (0x84)  len:uvarint json-utf8
+    TRACE_RESULT (0x85)  len:uvarint json-utf8
     BUSY         (0xFE)  retry_after_ms:uvarint   -- backpressure shed
     ERROR        (0xFF)  len:uvarint utf8-message
 
@@ -86,7 +98,12 @@ additive ``"busy"`` capability of RSP/1 (advertised in the INFO payload's
 queueing it, and the clients retry with jittered backoff.  The additive
 ``"generation"`` capability means INFO carries a ``store`` block (path,
 bytes, content-hash ``generation``) and STATS a ``store_generation``
-field, so rolling reloads are observable over the wire.
+field, so rolling reloads are observable over the wire.  The additive
+``"tracing"`` capability covers the optional ``trace`` suffix on
+QUERY/BATCH (servers that predate it ignore trailing request bytes, so
+stamped requests degrade to untraced ones) and the TRACE opcode; a
+request without the suffix is byte-identical to its pre-tracing
+encoding.
 """
 
 from __future__ import annotations

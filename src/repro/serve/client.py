@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import time
 
@@ -120,7 +121,18 @@ class LabelClient:
         self.busy_retried = 0
         #: lifetime count of connections re-established after a drop
         self.reconnects = 0
+        #: trace ids this client stamped on requests (``pipeline`` sampling
+        #: and explicit ``trace_id=`` calls); random base so ids from many
+        #: clients against one fleet don't collide
+        self._trace_ids = itertools.count(random.getrandbits(48))
+        self.traced_ids: list[int] = []
         self._connect()
+
+    def next_trace_id(self) -> int:
+        """A fresh client-unique trace id (also remembered in ``traced_ids``)."""
+        trace_id = next(self._trace_ids)
+        self.traced_ids.append(trace_id)
+        return trace_id
 
     def _connect(self) -> None:
         self._sock = socket.create_connection(self._remote, timeout=self._timeout)
@@ -225,18 +237,33 @@ class LabelClient:
 
     # -- requests ------------------------------------------------------------
 
-    def query(self, u: int, v: int, *, name: str = "", raw: bool = False):
-        """One distance query; a :class:`QueryResult` unless ``raw``."""
+    def query(
+        self, u: int, v: int, *, name: str = "", raw: bool = False,
+        trace_id: int | None = None,
+    ):
+        """One distance query; a :class:`QueryResult` unless ``raw``.
+
+        ``trace_id`` stamps the request with the additive trace field: the
+        server records per-stage spans for it, retrievable via
+        :meth:`trace`.  Old servers ignore the field.
+        """
         _, payload = self._roundtrip(
-            lambda request_id: protocol.encode_query(request_id, u, v, name)
+            lambda request_id: protocol.encode_query(
+                request_id, u, v, name, trace_id=trace_id
+            )
         )
         return _unwrap(payload, raw)[0]
 
-    def batch(self, pairs, *, name: str = "", raw: bool = False) -> list:
+    def batch(
+        self, pairs, *, name: str = "", raw: bool = False,
+        trace_id: int | None = None,
+    ) -> list:
         """Answer many pairs with a single BATCH request."""
         pairs = list(pairs)
         _, payload = self._roundtrip(
-            lambda request_id: protocol.encode_batch(request_id, pairs, name)
+            lambda request_id: protocol.encode_batch(
+                request_id, pairs, name, trace_id=trace_id
+            )
         )
         return _unwrap(payload, raw)
 
@@ -252,15 +279,28 @@ class LabelClient:
         )
         return _reshape(_unwrap(payload, raw), size)
 
-    def stats(self, name: str = "", *, reservoir: bool = False) -> dict:
+    def stats(
+        self, name: str = "", *, detail: bool = False, reservoir: bool = False
+    ) -> dict:
         """Server statistics (plus one member's cache stats when named).
 
-        ``reservoir=True`` asks for the raw latency reservoir too (for
-        fleet merging); plain polls should leave it off.
+        ``detail=True`` asks for the latency/per-stage histogram snapshots
+        (and the raw reservoir) that fleet merging needs; plain polls should
+        leave it off.  ``reservoir=True`` is the historical alias for the
+        same detail flag.
         """
         _, payload = self._roundtrip(
             lambda request_id: protocol.encode_stats(
-                request_id, name, reservoir=reservoir
+                request_id, name, reservoir=detail or reservoir
+            )
+        )
+        return payload
+
+    def trace(self, *, limit: int = 32, slow: bool = True) -> dict:
+        """The worker's recent-trace ring and slow-query log (OP_TRACE)."""
+        _, payload = self._roundtrip(
+            lambda request_id: protocol.encode_trace_request(
+                request_id, limit=limit, slow=slow
             )
         )
         return payload
@@ -270,7 +310,15 @@ class LabelClient:
         _, payload = self._roundtrip(protocol.encode_info)
         return payload
 
-    def pipeline(self, pairs, *, name: str = "", raw: bool = False, window: int = 256) -> list:
+    def pipeline(
+        self,
+        pairs,
+        *,
+        name: str = "",
+        raw: bool = False,
+        window: int = 256,
+        trace_every: int = 0,
+    ) -> list:
         """Issue one QUERY per pair, keeping up to ``window`` in flight.
 
         This is the traffic shape the server's coalescer is built for: many
@@ -278,6 +326,11 @@ class LabelClient:
         back in ``pairs`` order regardless of the server's completion order.
         Requests shed with BUSY are re-issued (only those) in later rounds
         with jittered backoff.
+
+        ``trace_every=N`` stamps every Nth request of the first pass with a
+        fresh trace id (collected in ``traced_ids``); the per-stage spans
+        can be fetched afterwards with :meth:`trace`.  Re-issued requests
+        (BUSY/reconnect rounds) are never traced.
         """
         pairs = list(pairs)
         if window < 1:
@@ -287,9 +340,10 @@ class LabelClient:
         attempt = 0
         drops = 0
         while todo:
+            sample, trace_every = trace_every, 0  # first pass only
             try:
                 round_outcomes = self._pipeline_pass(
-                    [pairs[i] for i in todo], name, window
+                    [pairs[i] for i in todo], name, window, trace_every=sample
                 )
             except (ConnectionError, OSError):
                 # dropped mid-pass (worker crash / rolling reload): reconnect
@@ -324,14 +378,21 @@ class LabelClient:
             todo = busy
         return [_unwrap(payload, raw)[0] for payload in outcomes]
 
-    def _pipeline_pass(self, pairs: list, name: str, window: int) -> list[tuple]:
+    def _pipeline_pass(
+        self, pairs: list, name: str, window: int, trace_every: int = 0
+    ) -> list[tuple]:
         """One windowed pass over ``pairs``; returns ``(op, payload)`` each."""
         ids = [next(self._ids) for _ in pairs]
         results: dict[int, tuple] = {}
         sent = 0
         backlog = bytearray()
         for index, (u, v) in enumerate(pairs):
-            backlog += protocol.encode_query(ids[index], u, v, name)
+            trace_id = (
+                self.next_trace_id()
+                if trace_every and index % trace_every == 0
+                else None
+            )
+            backlog += protocol.encode_query(ids[index], u, v, name, trace_id=trace_id)
             sent += 1
             if sent - len(results) >= window or len(backlog) >= 65536:
                 self._sock.sendall(backlog)
@@ -383,7 +444,16 @@ class AsyncLabelClient:
         self.busy_retried = 0
         #: lifetime count of connections re-established after a drop
         self.reconnects = 0
+        #: trace ids this client stamped on requests (see ``next_trace_id``)
+        self._trace_ids = itertools.count(random.getrandbits(48))
+        self.traced_ids: list[int] = []
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    def next_trace_id(self) -> int:
+        """A fresh client-unique trace id (also remembered in ``traced_ids``)."""
+        trace_id = next(self._trace_ids)
+        self.traced_ids.append(trace_id)
+        return trace_id
 
     @staticmethod
     async def _open(host: str, port: int):
@@ -534,18 +604,32 @@ class AsyncLabelClient:
 
     # -- requests ------------------------------------------------------------
 
-    async def query(self, u: int, v: int, *, name: str = "", raw: bool = False):
-        """One distance query; a :class:`QueryResult` unless ``raw``."""
+    async def query(
+        self, u: int, v: int, *, name: str = "", raw: bool = False,
+        trace_id: int | None = None,
+    ):
+        """One distance query; a :class:`QueryResult` unless ``raw``.
+
+        ``trace_id`` stamps the request with the additive trace field (see
+        :meth:`trace`); old servers ignore it.
+        """
         _, payload = await self._request(
-            lambda request_id: protocol.encode_query(request_id, u, v, name)
+            lambda request_id: protocol.encode_query(
+                request_id, u, v, name, trace_id=trace_id
+            )
         )
         return _unwrap(payload, raw)[0]
 
-    async def batch(self, pairs, *, name: str = "", raw: bool = False) -> list:
+    async def batch(
+        self, pairs, *, name: str = "", raw: bool = False,
+        trace_id: int | None = None,
+    ) -> list:
         """Answer many pairs with a single BATCH request."""
         pairs = list(pairs)
         _, payload = await self._request(
-            lambda request_id: protocol.encode_batch(request_id, pairs, name)
+            lambda request_id: protocol.encode_batch(
+                request_id, pairs, name, trace_id=trace_id
+            )
         )
         return _unwrap(payload, raw)
 
@@ -561,15 +645,27 @@ class AsyncLabelClient:
         )
         return _reshape(_unwrap(payload, raw), size)
 
-    async def stats(self, name: str = "", *, reservoir: bool = False) -> dict:
+    async def stats(
+        self, name: str = "", *, detail: bool = False, reservoir: bool = False
+    ) -> dict:
         """Server statistics (plus one member's cache stats when named).
 
-        ``reservoir=True`` asks for the raw latency reservoir too (for
-        fleet merging); plain polls should leave it off.
+        ``detail=True`` asks for the latency/per-stage histogram snapshots
+        (and the raw reservoir) that fleet merging needs; ``reservoir=True``
+        is the historical alias for the same detail flag.
         """
         _, payload = await self._request(
             lambda request_id: protocol.encode_stats(
-                request_id, name, reservoir=reservoir
+                request_id, name, reservoir=detail or reservoir
+            )
+        )
+        return payload
+
+    async def trace(self, *, limit: int = 32, slow: bool = True) -> dict:
+        """The worker's recent-trace ring and slow-query log (OP_TRACE)."""
+        _, payload = await self._request(
+            lambda request_id: protocol.encode_trace_request(
+                request_id, limit=limit, slow=slow
             )
         )
         return payload
@@ -580,7 +676,13 @@ class AsyncLabelClient:
         return payload
 
     async def pipeline(
-        self, pairs, *, name: str = "", raw: bool = False, window: int = 256
+        self,
+        pairs,
+        *,
+        name: str = "",
+        raw: bool = False,
+        window: int = 256,
+        trace_every: int = 0,
     ) -> list:
         """Issue one QUERY per pair with up to ``window`` in flight.
 
@@ -591,6 +693,10 @@ class AsyncLabelClient:
         back in ``pairs`` order regardless of the server's completion order.
         Requests shed with BUSY are re-issued (only those) in later rounds
         with jittered backoff.
+
+        ``trace_every=N`` stamps every Nth request of the first pass with a
+        fresh trace id (collected in ``traced_ids``); re-issued requests
+        are never traced.
         """
         pairs = list(pairs)
         if window < 1:
@@ -601,9 +707,10 @@ class AsyncLabelClient:
         drops = 0
         reconnectable = self._remote is not None
         while todo:
+            sample, trace_every = trace_every, 0  # first pass only
             try:
                 futures = await self._pipeline_pass(
-                    [pairs[i] for i in todo], name, window
+                    [pairs[i] for i in todo], name, window, trace_every=sample
                 )
             except (ConnectionError, OSError) as error:
                 if not reconnectable or self._closed:
@@ -655,7 +762,9 @@ class AsyncLabelClient:
             todo = sorted(busy + dropped)
         return [_unwrap(payload, raw)[0] for payload in outcomes]
 
-    async def _pipeline_pass(self, pairs: list, name: str, window: int) -> list:
+    async def _pipeline_pass(
+        self, pairs: list, name: str, window: int, trace_every: int = 0
+    ) -> list:
         """One windowed pass over ``pairs``; returns the settled futures."""
         self._check_open()
         loop = asyncio.get_running_loop()
@@ -690,6 +799,10 @@ class AsyncLabelClient:
             body = (
                 prefix + uvarint(request_id) + encoded_name + uvarint(u) + uvarint(v)
             )
+            if trace_every and index % trace_every == 0:
+                # the additive trace suffix; sampled requests are rare, so
+                # the two extra concatenations stay off the common path
+                body += b"\x01" + uvarint(self.next_trace_id())
             backlog += uvarint(len(body))
             backlog += body
             if len(backlog) >= 32768:

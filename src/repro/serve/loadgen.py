@@ -17,9 +17,15 @@ Against a multi-worker fleet (``repro-labels serve --workers N``) each
 connection lands on some worker, so ``loadgen`` asks **every** connection
 for STATS, de-duplicates the payloads by worker id and merges them with
 :func:`repro.serve.metrics.merge_fleet_stats`: counters and qps add, and
-the latency percentiles are recomputed from the concatenated per-worker
-reservoirs — an average of per-worker p50/p99 values is *not* a percentile
-of the fleet's latency distribution and is never reported.
+the latency percentiles are recomputed from the bucket-wise merged
+per-worker histograms — an average of per-worker p50/p99 values is *not* a
+percentile of the fleet's latency distribution and is never reported.
+
+``trace_every=N`` stamps every Nth pipelined request with a trace id; after
+the run the traced spans are fetched back from each connection's worker
+(``OP_TRACE``) and folded into ``report["tracing"]`` — a per-stage
+decode/queue/batch/encode/write breakdown of real sampled requests under
+this exact load.
 
 ``chaos="kill-worker:t=2"`` turns a load run into a self-healing check
 against a *supervised* fleet on the same machine: every ``t`` seconds a
@@ -88,11 +94,16 @@ async def _run_load_async(
     tree_seed: int,
     hops: int,
     chaos: str | None,
+    trace_every: int,
 ) -> dict:
     if connections < 1:
         raise ValueError("connections must be at least 1")
     if mode not in ("pipeline", "batch"):
         raise ValueError(f"unknown loadgen mode {mode!r}")
+    if trace_every < 0:
+        raise ValueError("trace_every must be non-negative")
+    if trace_every and mode != "pipeline":
+        raise ValueError("tracing requires mode='pipeline'")
     chaos_plan = parse_chaos(chaos) if chaos else None
     clients = [await AsyncLabelClient.connect(host, port) for _ in range(connections)]
     try:
@@ -129,7 +140,13 @@ async def _run_load_async(
             if mode == "pipeline":
                 shard_results = await asyncio.gather(
                     *(
-                        client.pipeline(shard, name=name, raw=True, window=window)
+                        client.pipeline(
+                            shard,
+                            name=name,
+                            raw=True,
+                            window=window,
+                            trace_every=trace_every,
+                        )
                         for client, shard in zip(clients, shards)
                     )
                 )
@@ -156,11 +173,14 @@ async def _run_load_async(
         # every connection may face a different worker: collect all STATS
         # payloads and fold them into one fleet view (reservoirs merged)
         per_connection = await asyncio.gather(
-            *(client.stats(name, reservoir=True) for client in clients)
+            *(client.stats(name, detail=True) for client in clients)
         )
         stats = merge_fleet_stats(list(per_connection))
         busy_retried = sum(client.busy_retried for client in clients)
         reconnects = sum(client.reconnects for client in clients)
+        tracing = None
+        if trace_every:
+            tracing = await _collect_traces(clients, trace_every)
     finally:
         for client in clients:
             await client.close()
@@ -185,9 +205,64 @@ async def _run_load_async(
         "workers": stats["workers"],
         "server": stats,
     }
+    if tracing is not None:
+        report["tracing"] = tracing
     if chaos_plan is not None:
         report["chaos"] = {"spec": chaos, "kills": len(kills), "pids": kills}
     return report
+
+
+async def _collect_traces(clients, trace_every: int) -> dict:
+    """Fetch sampled traces back from the workers and fold a stage breakdown.
+
+    Each connection asks its own worker's trace ring (``OP_TRACE``), so with
+    one connection per worker the whole fleet is covered; traces are matched
+    to the ids *this* run stamped (the ring may also hold other clients'
+    traces) and de-duplicated.  Workers bound their rings, so under heavy
+    sampling ``collected < requested`` — the counts make that visible.
+    """
+    requested = {
+        trace_id for client in clients for trace_id in client.traced_ids
+    }
+    collected: dict[int, dict] = {}
+    for client in clients:
+        try:
+            snapshot = await client.trace(limit=0, slow=False)
+        except (ConnectionError, OSError):  # pragma: no cover - dying fleet
+            continue
+        for trace in snapshot.get("traces", ()):
+            trace_id = trace.get("trace_id")
+            if trace_id in requested and trace_id not in collected:
+                collected[trace_id] = trace
+    stages: dict[str, dict] = {}
+    total_count = 0
+    total_sum = 0.0
+    for trace in collected.values():
+        total_count += 1
+        total_sum += trace.get("total_ms", 0.0)
+        for span in trace.get("spans", ()):
+            stage = span.get("stage")
+            row = stages.setdefault(
+                stage, {"count": 0, "sum_ms": 0.0, "max_ms": 0.0}
+            )
+            row["count"] += 1
+            row["sum_ms"] += span.get("ms", 0.0)
+            row["max_ms"] = max(row["max_ms"], span.get("ms", 0.0))
+    breakdown = {
+        stage: {
+            "count": row["count"],
+            "mean_ms": round(row["sum_ms"] / row["count"], 4),
+            "max_ms": round(row["max_ms"], 4),
+        }
+        for stage, row in stages.items()
+    }
+    return {
+        "sample_every": trace_every,
+        "requested": len(requested),
+        "collected": len(collected),
+        "mean_total_ms": round(total_sum / total_count, 4) if total_count else 0.0,
+        "stages": breakdown,
+    }
 
 
 def run_load(
@@ -206,6 +281,7 @@ def run_load(
     tree_seed: int = 0,
     hops: int = 4,
     chaos: str | None = None,
+    trace_every: int = 0,
 ) -> dict:
     """Drive a serve endpoint and return a metrics dict.
 
@@ -219,7 +295,9 @@ def run_load(
     view; ``report["workers"]`` counts the distinct workers the
     connections reached.  ``chaos`` (e.g. ``"kill-worker:t=2"``) SIGKILLs
     a worker pid every ``t`` seconds mid-run — only meaningful against a
-    supervised fleet on this machine.
+    supervised fleet on this machine.  ``trace_every=N`` samples every Nth
+    pipelined request for server-side tracing and adds the per-stage
+    breakdown as ``report["tracing"]``.
     """
     return asyncio.run(
         _run_load_async(
@@ -237,5 +315,6 @@ def run_load(
             tree_seed=tree_seed,
             hops=hops,
             chaos=chaos,
+            trace_every=trace_every,
         )
     )

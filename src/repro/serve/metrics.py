@@ -2,26 +2,42 @@
 
 Two concerns live here because every multi-worker consumer needs both:
 
-* :func:`percentile` — the nearest-rank estimator used for per-worker
-  latency percentiles (STATS responses) and for fleet-wide percentiles
-  computed from merged reservoirs;
+* :func:`percentile` — the nearest-rank estimator used for raw sample
+  lists (reservoir snapshots, loadgen client-side timings);
 * :func:`merge_fleet_stats` — fold many per-worker STATS payloads into one
   fleet-wide view.  Counters add, rates recompute from the summed counters,
-  and latency percentiles are recomputed from the **concatenated latency
-  reservoirs** — never by averaging per-worker p50/p99, because an average
-  of percentiles is not a percentile (a worker answering 10 queries at 9 ms
-  must not weigh as much as one answering 10 000 at 1 ms).
+  and latency percentiles are recomputed from the **merged histogram
+  buckets** when the payloads carry them (detailed STATS do) — never by
+  averaging per-worker p50/p99, because an average of percentiles is not a
+  percentile (a worker answering 10 queries at 9 ms must not weigh as much
+  as one answering 10 000 at 1 ms).  Bucket merges are also immune to the
+  reservoir-concatenation skew: a restarted worker's short reservoir held
+  *every* one of its samples while a veteran's held only the last 4096 of
+  millions, so concatenation over-weighted the restarted worker.  Payloads
+  without histograms (older workers, synthetic fixtures) still merge via
+  concatenated reservoirs.
 """
 
 from __future__ import annotations
 
+import math
+
+from repro.obs.hist import merge_histogram_dicts
+
 
 def percentile(samples: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an unsorted sample list (0 when empty)."""
+    """Nearest-rank percentile of an unsorted sample list (0 when empty).
+
+    Nearest-rank: the smallest sample with at least ``fraction`` of the set
+    at or below it — rank ``ceil(fraction * n)`` (1-based).  The previous
+    ``int(fraction * n)`` 0-based form was off by one: it returned the
+    element *after* the nearest rank (p50 of ``[1, 2]`` came out as 2) and
+    p0 returned the minimum only by accident of the clamp.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
 
 
@@ -42,6 +58,7 @@ _SUMMED_COUNTERS = (
     "connections_open",
     "connections_total",
     "restarts",
+    "rss_bytes",
 )
 
 
@@ -92,16 +109,50 @@ def merge_fleet_stats(stats_list: list[dict]) -> dict:
             generations[0] if len(generations) == 1 else ",".join(generations)
         )
 
-    # fleet latency: concatenate the per-worker reservoirs, then estimate
+    # fleet latency: merge histogram buckets when the payloads carry them
+    # (exact — every worker weighted by its true sample count), otherwise
+    # fall back to concatenating the per-worker reservoirs
+    histograms = [
+        stats["latency_ms"]["histogram"]
+        for stats in workers
+        if isinstance(stats.get("latency_ms", {}).get("histogram"), dict)
+    ]
     reservoir: list[float] = []
     for stats in workers:
         reservoir.extend(stats.get("latency_ms", {}).get("reservoir", ()))
-    merged["latency_ms"] = {
-        "p50": round(percentile(reservoir, 0.50), 4),
-        "p99": round(percentile(reservoir, 0.99), 4),
-        "samples": len(reservoir),
-        "reservoir": reservoir,
-    }
+    fleet_hist = merge_histogram_dicts(histograms)
+    if fleet_hist is not None:
+        merged["latency_ms"] = {
+            "p50": round(fleet_hist.percentile(0.50), 4),
+            "p99": round(fleet_hist.percentile(0.99), 4),
+            "samples": fleet_hist.total,
+            "histogram": fleet_hist.to_dict(),
+            "reservoir": reservoir,
+        }
+    else:
+        merged["latency_ms"] = {
+            "p50": round(percentile(reservoir, 0.50), 4),
+            "p99": round(percentile(reservoir, 0.99), 4),
+            "samples": len(reservoir),
+            "reservoir": reservoir,
+        }
+
+    # per-stage histograms merge the same way (absent unless detailed STATS)
+    stage_names = sorted(
+        {stage for stats in workers for stage in stats.get("stages", {})}
+    )
+    if stage_names:
+        merged["stages"] = {}
+        for stage in stage_names:
+            stage_hist = merge_histogram_dicts(
+                [
+                    stats["stages"][stage]
+                    for stats in workers
+                    if isinstance(stats.get("stages", {}).get(stage), dict)
+                ]
+            )
+            if stage_hist is not None:
+                merged["stages"][stage] = stage_hist.to_dict()
 
     merged["per_worker"] = [
         {

@@ -9,8 +9,8 @@ the byte-level encoders/decoders shared by :mod:`repro.serve.server` and
 
 Requests and responses are plain tuples/dataclass-free values so both ends
 stay allocation-light on the hot path: the server decodes a request body
-into ``(op, request_id, name, payload)`` and the client decodes a response
-body into ``(op, request_id, payload)``.
+into ``(op, request_id, name, payload, trace_id)`` and the client decodes a
+response body into ``(op, request_id, payload)``.
 """
 
 from __future__ import annotations
@@ -30,7 +30,11 @@ PROTOCOL_VERSION = 1
 #: ``generation`` means INFO carries the served store's generation (content
 #: hash + path) and STATS its ``store_generation`` — the fields rolling
 #: reloads flip, so clients can observe a re-encoded store going live.
-PROTOCOL_FEATURES = ("busy", "generation")
+#: ``tracing`` means QUERY/BATCH accept an optional trailing trace-id field
+#: (flag byte ``0x01`` + uvarint) and the server answers :data:`OP_TRACE`
+#: with its recent-trace ring and slow-query log; servers without the
+#: feature ignore the trailing bytes and serve the query unchanged.
+PROTOCOL_FEATURES = ("busy", "generation", "tracing")
 
 #: hard ceiling on one frame's body, server- and client-side (a matrix
 #: response over a few thousand nodes fits comfortably; anything larger is
@@ -44,16 +48,18 @@ OP_BATCH = 0x02  #: many (u, v) queries answered as one unit
 OP_MATRIX = 0x03  #: all-pairs answers over a node subset
 OP_STATS = 0x04  #: serving statistics (qps, latency percentiles, cache)
 OP_INFO = 0x05  #: member listing: name -> {spec, kind, n}
+OP_TRACE = 0x06  #: recent request traces + slow-query log (``tracing`` feature)
 
 OP_RESULT = 0x81  #: answers to QUERY / BATCH / MATRIX
 OP_STATS_RESULT = 0x83  #: JSON statistics blob
 OP_INFO_RESULT = 0x84  #: JSON member listing
+OP_TRACE_RESULT = 0x85  #: JSON trace ring / slow-query log
 OP_BUSY = 0xFE  #: backpressure: the request was shed, retry after a delay
 OP_ERROR = 0xFF  #: request-scoped failure (connection stays usable)
 
-REQUEST_OPS = frozenset({OP_QUERY, OP_BATCH, OP_MATRIX, OP_STATS, OP_INFO})
+REQUEST_OPS = frozenset({OP_QUERY, OP_BATCH, OP_MATRIX, OP_STATS, OP_INFO, OP_TRACE})
 RESPONSE_OPS = frozenset(
-    {OP_RESULT, OP_STATS_RESULT, OP_INFO_RESULT, OP_BUSY, OP_ERROR}
+    {OP_RESULT, OP_STATS_RESULT, OP_INFO_RESULT, OP_TRACE_RESULT, OP_BUSY, OP_ERROR}
 )
 
 # -- result kinds ------------------------------------------------------------
@@ -138,20 +144,41 @@ def _encode_name(name: str) -> bytes:
     return encode_uvarint(len(encoded)) + encoded
 
 
-def encode_query(request_id: int, u: int, v: int, name: str = "") -> bytes:
-    """A framed :data:`OP_QUERY` request."""
+def _trace_suffix(trace_id: int | None) -> bytes:
+    """The additive trace-id field: flag byte + uvarint, or nothing.
+
+    Appended after a QUERY/BATCH payload.  Servers that predate the
+    ``tracing`` feature ignore trailing request bytes, so a tracing client
+    interoperates with an old server unchanged (the trace is simply not
+    recorded); a traceless request is byte-identical to the pre-tracing
+    encoding.
+    """
+    if trace_id is None:
+        return b""
+    return b"\x01" + encode_uvarint(trace_id)
+
+
+def encode_query(
+    request_id: int, u: int, v: int, name: str = "", trace_id: int | None = None
+) -> bytes:
+    """A framed :data:`OP_QUERY` request (optionally trace-tagged)."""
     body = bytes([OP_QUERY]) + encode_uvarint(request_id) + _encode_name(name)
-    return encode_frame(body + encode_uvarint(u) + encode_uvarint(v))
+    return encode_frame(
+        body + encode_uvarint(u) + encode_uvarint(v) + _trace_suffix(trace_id)
+    )
 
 
-def encode_batch(request_id: int, pairs, name: str = "") -> bytes:
-    """A framed :data:`OP_BATCH` request."""
+def encode_batch(
+    request_id: int, pairs, name: str = "", trace_id: int | None = None
+) -> bytes:
+    """A framed :data:`OP_BATCH` request (optionally trace-tagged)."""
     parts = [bytes([OP_BATCH]), encode_uvarint(request_id), _encode_name(name)]
     pairs = list(pairs)
     parts.append(encode_uvarint(len(pairs)))
     for u, v in pairs:
         parts.append(encode_uvarint(u))
         parts.append(encode_uvarint(v))
+    parts.append(_trace_suffix(trace_id))
     return encode_frame(b"".join(parts))
 
 
@@ -173,11 +200,13 @@ def encode_matrix(request_id: int, nodes=None, name: str = "") -> bytes:
 def encode_stats(request_id: int, name: str = "", *, reservoir: bool = False) -> bytes:
     """A framed :data:`OP_STATS` request (empty name = server-wide).
 
-    ``reservoir=True`` appends the additive flag byte asking the server to
-    embed its raw latency reservoir (a few thousand floats) in the payload
-    — fleet-merging consumers (loadgen, the supervisor) opt in; a plain
-    STATS poll stays a few hundred bytes.  Servers ignore trailing bytes
-    they do not understand, so this is RSP/1-compatible in both directions.
+    ``reservoir=True`` appends the additive detail flag byte asking the
+    server to embed its full latency detail — historically the raw
+    reservoir, now the per-stage histogram snapshots fleet merges are
+    computed from.  Fleet-merging consumers (loadgen, the supervisor) opt
+    in; a plain STATS poll stays a few hundred bytes.  Servers ignore
+    trailing bytes they do not understand, so this is RSP/1-compatible in
+    both directions.
     """
     body = bytes([OP_STATS]) + encode_uvarint(request_id) + _encode_name(name)
     if reservoir:
@@ -190,13 +219,40 @@ def encode_info(request_id: int) -> bytes:
     return encode_frame(bytes([OP_INFO]) + encode_uvarint(request_id))
 
 
+def encode_trace_request(
+    request_id: int, *, limit: int = 32, slow: bool = True
+) -> bytes:
+    """A framed :data:`OP_TRACE` request.
+
+    ``limit`` caps how many recent traces the worker returns (0 = its whole
+    ring); ``slow`` asks for the slow-query log too.
+    """
+    body = (
+        bytes([OP_TRACE])
+        + encode_uvarint(request_id)
+        + encode_uvarint(limit)
+        + (b"\x01" if slow else b"\x00")
+    )
+    return encode_frame(body)
+
+
+def _decode_trace_suffix(body: bytes, pos: int) -> int | None:
+    """The optional trailing trace id of a QUERY/BATCH request."""
+    if pos < len(body) and body[pos] == 1:
+        trace_id, _ = decode_uvarint(body, pos + 1)
+        return trace_id
+    return None
+
+
 def decode_request(body: bytes):
-    """Decode one request body into ``(op, request_id, name, payload)``.
+    """Decode one request body into ``(op, request_id, name, payload, trace_id)``.
 
     ``payload`` is op-specific: ``(u, v)`` for QUERY, a pair list for BATCH,
-    a node list or ``None`` for MATRIX, ``None`` for INFO, and for STATS
-    ``True`` when the optional reservoir flag byte is present (else
-    ``None``).
+    a node list or ``None`` for MATRIX, ``None`` for INFO, for STATS
+    ``True`` when the optional detail flag byte is present (else ``None``),
+    and ``(limit, include_slow)`` for TRACE.  ``trace_id`` is the optional
+    additive trace tag of QUERY/BATCH requests (``None`` otherwise — the
+    ``tracing`` feature of RSP/1).
     """
     if not body:
         raise ProtocolError("empty frame body")
@@ -206,19 +262,23 @@ def decode_request(body: bytes):
     try:
         request_id, pos = decode_uvarint(body, 1)
         if op == OP_INFO:
-            return op, request_id, "", None
+            return op, request_id, "", None, None
+        if op == OP_TRACE:
+            limit, pos = decode_uvarint(body, pos)
+            include_slow = pos < len(body) and body[pos] == 1
+            return op, request_id, "", (limit, include_slow), None
         name_len, pos = decode_uvarint(body, pos)
         if pos + name_len > len(body):
             raise ValueError("truncated member name")
         name = body[pos : pos + name_len].decode("utf-8")
         pos += name_len
         if op == OP_STATS:
-            reservoir = pos < len(body) and body[pos] == 1
-            return op, request_id, name, True if reservoir else None
+            detail = pos < len(body) and body[pos] == 1
+            return op, request_id, name, True if detail else None, None
         if op == OP_QUERY:
             u, pos = decode_uvarint(body, pos)
             v, pos = decode_uvarint(body, pos)
-            return op, request_id, name, (u, v)
+            return op, request_id, name, (u, v), _decode_trace_suffix(body, pos)
         count, pos = decode_uvarint(body, pos)
         if op == OP_BATCH:
             pairs = []
@@ -226,19 +286,19 @@ def decode_request(body: bytes):
                 u, pos = decode_uvarint(body, pos)
                 v, pos = decode_uvarint(body, pos)
                 pairs.append((u, v))
-            return op, request_id, name, pairs
+            return op, request_id, name, pairs, _decode_trace_suffix(body, pos)
         # OP_MATRIX: explicit-nodes flag distinguishes "all nodes" from []
         if pos >= len(body):
             raise ValueError("truncated matrix request")
         explicit = body[pos]
         pos += 1
         if not explicit:
-            return op, request_id, name, None
+            return op, request_id, name, None, None
         nodes = []
         for _ in range(count):
             node, pos = decode_uvarint(body, pos)
             nodes.append(node)
-        return op, request_id, name, nodes
+        return op, request_id, name, nodes, None
     except ValueError as error:
         raise ProtocolError(f"malformed request: {error}") from error
 
@@ -371,7 +431,7 @@ def decode_response(body: bytes):
         if op == OP_ERROR:
             length, pos = decode_uvarint(body, pos)
             return op, request_id, body[pos : pos + length].decode("utf-8")
-        if op in (OP_STATS_RESULT, OP_INFO_RESULT):
+        if op in (OP_STATS_RESULT, OP_INFO_RESULT, OP_TRACE_RESULT):
             length, pos = decode_uvarint(body, pos)
             return op, request_id, json.loads(body[pos : pos + length].decode("utf-8"))
         kind = body[pos]

@@ -54,12 +54,15 @@ from collections import deque
 from repro import kernels
 from repro.api.catalog import CatalogError, IndexCatalog
 from repro.api.index import DistanceIndex
+from repro.obs.hist import Histogram
+from repro.obs.trace import STAGES, Span, Trace, TraceRecorder
 from repro.scale.memory import current_rss_bytes
 from repro.serve import faults, protocol
-from repro.serve.metrics import percentile
 from repro.store.label_store import StoreError
 
-#: latency samples kept for the percentile estimates in STATS responses
+#: latency samples kept in the raw reservoir embedded in detailed STATS
+#: (kept for wire compatibility and spot debugging; percentiles and fleet
+#: merges come from the fixed-boundary histograms, which never truncate)
 _LATENCY_WINDOW = 4096
 
 
@@ -77,7 +80,9 @@ class _Member:
             if index.kind == "approximate"
             else (1.0 if index.kind == "exact" else None)
         )
-        #: coalescer queue: (connection, request_id, u, v, enqueued_at)
+        #: coalescer queue: (connection, request_id, u, v, enqueued_at, trace)
+        #: where ``trace`` is ``(trace_id, arrived, decoded)`` for requests
+        #: carrying the additive trace-id field and ``None`` otherwise
         self.pending: list[tuple] = []
 
 
@@ -102,6 +107,8 @@ class ServingCore:
         slot: int = 0,
         restarts: int = 0,
         generation: dict | None = None,
+        slow_ms: float | None = None,
+        trace_ring: int = 256,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -113,6 +120,10 @@ class ServingCore:
             raise ValueError("max_matrix_inflight must be at least 1")
         if pair_cache < 0:
             raise ValueError("pair_cache must be non-negative")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError("slow_ms must be non-negative")
+        if trace_ring < 1:
+            raise ValueError("trace_ring must be at least 1")
         self._catalog: IndexCatalog | None = None
         self._members: dict[str, _Member] = {}
         self.pair_cache = pair_cache
@@ -165,6 +176,12 @@ class ServingCore:
         self.connections_total = 0
         self.connections_open = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        #: fixed-boundary histograms: exact fleet merges are bucket-wise
+        #: sums, so percentiles survive worker restarts and rolling reloads
+        self.latency_hist = Histogram()  #: QUERY enqueue -> response written
+        self.stage_hist = {stage: Histogram() for stage in STAGES}
+        #: bounded ring of recent traces plus the slow-query log
+        self.tracer = TraceRecorder(ring=trace_ring, slow_ms=slow_ms)
 
     # -- member resolution ---------------------------------------------------
 
@@ -208,17 +225,20 @@ class ServingCore:
             payload["store"] = dict(self.generation)
         return payload
 
-    def stats(self, name: str = "", include_reservoir: bool = False) -> dict:
+    def stats(self, name: str = "", detail: bool = False) -> dict:
         """The STATS payload; ``name`` adds one member's index statistics.
 
         ``latency_ms`` covers QUERY requests only (enqueue to flush, the
         number a per-query client observes); BATCH/MATRIX requests are
         counted but would skew the per-query percentiles and stay out.
-        ``include_reservoir`` embeds the raw reservoir (in ms) so fleet
-        consumers — the supervisor's shutdown summary, the loadgen report —
-        can merge reservoirs across workers and compute true fleet
-        percentiles instead of averaging per-worker ones; plain monitoring
-        polls leave it off and stay a few hundred bytes.
+        Percentiles come from the fixed-boundary latency histogram, so they
+        are quantised to its bucket bounds but never truncated by a window.
+        ``detail`` embeds the histogram snapshots (latency + per-stage) and
+        the raw reservoir (in ms) so fleet consumers — the supervisor's
+        shutdown summary, the metrics endpoint, the loadgen report — can
+        merge latency across workers bucket-wise and report true fleet
+        percentiles; plain monitoring polls leave it off and stay a few
+        hundred bytes.
         """
         elapsed = max(time.monotonic() - self.started_at, 1e-9)
         samples = list(self._latencies)
@@ -247,18 +267,26 @@ class ServingCore:
             "rss_bytes": current_rss_bytes(),
             "kernel": kernels.backend_name(),
             "latency_ms": {
-                "p50": round(percentile(samples, 0.50) * 1000, 4),
-                "p99": round(percentile(samples, 0.99) * 1000, 4),
-                "samples": len(samples),
+                "p50": round(self.latency_hist.percentile(0.50), 4),
+                "p99": round(self.latency_hist.percentile(0.99), 4),
+                "samples": self.latency_hist.total,
             },
             "coalescing": self.coalesce,
         }
         if self.generation is not None:
             payload["store_generation"] = self.generation.get("generation")
-        if include_reservoir:
+        if detail:
+            payload["latency_ms"]["histogram"] = self.latency_hist.to_dict()
             payload["latency_ms"]["reservoir"] = [
                 round(sample * 1000, 4) for sample in samples
             ]
+            payload["stages"] = {
+                stage: hist.to_dict() for stage, hist in self.stage_hist.items()
+            }
+            payload["traces"] = {
+                "recorded": self.tracer.recorded,
+                "slow_ms": self.tracer.slow_ms,
+            }
         if name or self._catalog is None:
             # a read-only stats probe must not force a lazy catalog member
             # open; closed members report ``open: false`` and nothing else
@@ -284,12 +312,22 @@ class ServingCore:
 
     # -- the micro-batching coalescer ----------------------------------------
 
-    def enqueue_query(self, member: _Member, connection, request_id: int, u: int, v: int) -> None:
+    def enqueue_query(
+        self,
+        member: _Member,
+        connection,
+        request_id: int,
+        u: int,
+        v: int,
+        trace: tuple | None = None,
+    ) -> None:
         """Queue one QUERY for the next flush (or flush now when naive).
 
         When the pending queue is already at ``max_pending``, the request is
         shed immediately with BUSY — bounded memory and bounded latency for
         everything already queued, at the price of the client retrying.
+        ``trace`` is ``(trace_id, arrived, decoded)`` for requests carrying
+        the additive trace-id field.
         """
         if self.pending_total >= self.max_pending:
             self.busy_rejections += 1
@@ -298,7 +336,7 @@ class ServingCore:
         pending = member.pending
         if not pending:
             self._dirty.append(member)
-        pending.append((connection, request_id, u, v, time.monotonic()))
+        pending.append((connection, request_id, u, v, time.monotonic(), trace))
         self.pending_total += 1
         if not self.coalesce or len(pending) >= self.max_batch:
             self._flush()
@@ -320,6 +358,9 @@ class ServingCore:
         dirty, self._dirty = self._dirty, []
         now = time.monotonic
         record = self._latencies.append
+        latency_hist = self.latency_hist
+        queue_hist = self.stage_hist["queue"]
+        slow_ms = self.tracer.slow_ms
         for member in dirty:
             pending = member.pending
             if not pending:
@@ -327,6 +368,7 @@ class ServingCore:
             member.pending = []
             self.pending_total -= len(pending)
             pairs = [(item[2], item[3]) for item in pending]
+            flush_start = now()
             try:
                 answers = member.index.batch(pairs, raw=True)
             except (StoreError, ValueError):
@@ -339,19 +381,106 @@ class ServingCore:
             self.coalesced += len(pending)
             self.queries += len(pending)
             finished = now()
+            self.stage_hist["batch"].observe((finished - flush_start) * 1000.0)
             # group per connection, then build each connection's response
             # frames in one encode_result_block call and one write
             answered: dict[object, list] = {}
-            for (connection, request_id, _, _, enqueued), answer in zip(pending, answers):
+            traced: list[tuple] = []
+            for item, answer in zip(pending, answers):
+                connection, request_id, u, v, enqueued, trace = item
+                total_ms = (finished - enqueued) * 1000.0
                 record(finished - enqueued)
+                latency_hist.observe(total_ms)
+                queue_hist.observe((flush_start - enqueued) * 1000.0)
+                if slow_ms is not None and total_ms >= slow_ms:
+                    self.tracer.maybe_slow(
+                        total_ms,
+                        {
+                            "op": "query",
+                            "member": member.name,
+                            "u": u,
+                            "v": v,
+                            "trace_id": trace[0] if trace else None,
+                        },
+                    )
+                if trace is not None:
+                    traced.append((trace, connection, u, v, enqueued))
                 bucket = answered.get(connection)
                 if bucket is None:
                     bucket = answered[connection] = []
                 bucket.append((request_id, answer))
             kind = member.kind_code
             ratio = member.ratio_bound
+            encode_hist = self.stage_hist["encode"]
+            write_hist = self.stage_hist["write"]
+            conn_times: dict[object, tuple] = {}
             for connection, items in answered.items():
-                connection.send(protocol.encode_result_block(items, kind, ratio))
+                encode_start = now()
+                block = protocol.encode_result_block(items, kind, ratio)
+                encode_end = now()
+                connection.send(block)
+                write_end = now()
+                encode_hist.observe((encode_end - encode_start) * 1000.0)
+                write_hist.observe((write_end - encode_end) * 1000.0)
+                if traced:
+                    conn_times[connection] = (encode_start, encode_end, write_end)
+            for trace, connection, u, v, enqueued in traced:
+                encode_start, encode_end, write_end = conn_times[connection]
+                self._record_query_trace(
+                    trace,
+                    member,
+                    u,
+                    v,
+                    enqueued=enqueued,
+                    flush_start=flush_start,
+                    batch_end=finished,
+                    encode_start=encode_start,
+                    encode_end=encode_end,
+                    write_end=write_end,
+                )
+
+    def _record_query_trace(
+        self,
+        trace: tuple,
+        member: _Member,
+        u: int,
+        v: int,
+        *,
+        enqueued: float,
+        flush_start: float,
+        batch_end: float,
+        encode_start: float,
+        encode_end: float,
+        write_end: float,
+    ) -> None:
+        """Assemble and record the spans for one traced, coalesced QUERY.
+
+        The encode/write spans are per-connection (the batched response block
+        is built and written once per connection), so a traced query inside a
+        large coalesced flush reports the shared encode/write cost — exactly
+        what that request actually waited for.
+        """
+        trace_id, arrived, decoded = trace
+        record = Trace(
+            trace_id,
+            "query",
+            member.name,
+            total_ms=(write_end - arrived) * 1000.0,
+            attrs=self._trace_attrs(u=u, v=v),
+        )
+        record.add(Span.completed("decode", (decoded - arrived) * 1000.0))
+        record.add(Span.completed("queue", (flush_start - enqueued) * 1000.0))
+        record.add(Span.completed("batch", (batch_end - flush_start) * 1000.0))
+        record.add(Span.completed("encode", (encode_end - encode_start) * 1000.0))
+        record.add(Span.completed("write", (write_end - encode_end) * 1000.0))
+        self.tracer.record(record)
+
+    def _trace_attrs(self, **extra) -> dict:
+        attrs = {"worker": os.getpid(), "slot": self.slot}
+        if self.generation is not None:
+            attrs["store_generation"] = self.generation.get("generation")
+        attrs.update(extra)
+        return attrs
 
     def _flush_individually(self, member: _Member, pending: list) -> None:
         """Answer each pending query alone (the poisoned-batch slow path)."""
@@ -359,20 +488,55 @@ class ServingCore:
         ratio = member.ratio_bound
         query = member.index.query
         record = self._latencies.append
-        for connection, request_id, u, v, enqueued in pending:
+        now = time.monotonic
+        for connection, request_id, u, v, enqueued, trace in pending:
+            start = now()
             try:
                 answer = query(u, v, raw=True)
             except (StoreError, ValueError) as error:
                 self.errors += 1
                 connection.send(protocol.encode_error(request_id, str(error)))
             else:
+                batch_end = now()
                 self.flushes += 1
                 self.coalesced += 1
                 self.queries += 1
-                record(time.monotonic() - enqueued)
-                connection.send(
-                    protocol.encode_result(request_id, kind, (answer,), ratio)
-                )
+                total = batch_end - enqueued
+                record(total)
+                self.latency_hist.observe(total * 1000.0)
+                self.stage_hist["queue"].observe((start - enqueued) * 1000.0)
+                self.stage_hist["batch"].observe((batch_end - start) * 1000.0)
+                encode_start = now()
+                frame = protocol.encode_result(request_id, kind, (answer,), ratio)
+                encode_end = now()
+                connection.send(frame)
+                write_end = now()
+                self.stage_hist["encode"].observe((encode_end - encode_start) * 1000.0)
+                self.stage_hist["write"].observe((write_end - encode_end) * 1000.0)
+                if self.tracer.slow_ms is not None:
+                    self.tracer.maybe_slow(
+                        total * 1000.0,
+                        {
+                            "op": "query",
+                            "member": member.name,
+                            "u": u,
+                            "v": v,
+                            "trace_id": trace[0] if trace else None,
+                        },
+                    )
+                if trace is not None:
+                    self._record_query_trace(
+                        trace,
+                        member,
+                        u,
+                        v,
+                        enqueued=enqueued,
+                        flush_start=start,
+                        batch_end=batch_end,
+                        encode_start=encode_start,
+                        encode_end=encode_end,
+                        write_end=write_end,
+                    )
 
     # -- MATRIX offload -------------------------------------------------------
 
@@ -399,25 +563,60 @@ class ServingCore:
 
     def handle_request(self, connection, body: bytes) -> None:
         """Dispatch one decoded frame from ``connection``."""
+        arrived = time.monotonic()
         if self._faults is not None:
             self._faults.fire("dispatch")
-        op, request_id, name, payload = protocol.decode_request(body)
+        op, request_id, name, payload, trace_id = protocol.decode_request(body)
+        decoded = time.monotonic()
+        self.stage_hist["decode"].observe((decoded - arrived) * 1000.0)
         try:
             if op == protocol.OP_QUERY:
                 member = self.member(name)
                 u, v = payload
-                self.enqueue_query(member, connection, request_id, u, v)
+                trace = (trace_id, arrived, decoded) if trace_id is not None else None
+                self.enqueue_query(member, connection, request_id, u, v, trace)
                 return
             if op == protocol.OP_BATCH:
                 member = self.member(name)
+                batch_start = time.monotonic()
                 answers = member.index.batch(payload, raw=True)
+                batch_end = time.monotonic()
                 self.batch_requests += 1
                 self.batch_request_pairs += len(payload)
-                connection.send(
-                    protocol.encode_result(
-                        request_id, member.kind_code, answers, member.ratio_bound
-                    )
+                self.stage_hist["batch"].observe((batch_end - batch_start) * 1000.0)
+                encode_start = time.monotonic()
+                frame = protocol.encode_result(
+                    request_id, member.kind_code, answers, member.ratio_bound
                 )
+                encode_end = time.monotonic()
+                connection.send(frame)
+                write_end = time.monotonic()
+                self.stage_hist["encode"].observe((encode_end - encode_start) * 1000.0)
+                self.stage_hist["write"].observe((write_end - encode_end) * 1000.0)
+                total_ms = (write_end - arrived) * 1000.0
+                if self.tracer.slow_ms is not None:
+                    self.tracer.maybe_slow(
+                        total_ms,
+                        {
+                            "op": "batch",
+                            "member": name,
+                            "pairs": len(payload),
+                            "trace_id": trace_id,
+                        },
+                    )
+                if trace_id is not None:
+                    record = Trace(
+                        trace_id,
+                        "batch",
+                        name,
+                        total_ms=total_ms,
+                        attrs=self._trace_attrs(pairs=len(payload)),
+                    )
+                    record.add(Span.completed("decode", (decoded - arrived) * 1000.0))
+                    record.add(Span.completed("batch", (batch_end - batch_start) * 1000.0))
+                    record.add(Span.completed("encode", (encode_end - encode_start) * 1000.0))
+                    record.add(Span.completed("write", (write_end - encode_end) * 1000.0))
+                    self.tracer.record(record)
                 return
             if op == protocol.OP_MATRIX:
                 member = self.member(name)
@@ -443,7 +642,17 @@ class ServingCore:
                     protocol.encode_json_response(
                         protocol.OP_STATS_RESULT,
                         request_id,
-                        self.stats(name, include_reservoir=payload is True),
+                        self.stats(name, detail=payload is True),
+                    )
+                )
+                return
+            if op == protocol.OP_TRACE:
+                limit, include_slow = payload
+                snapshot = self.tracer.snapshot(limit, include_slow)
+                snapshot.update(self._trace_attrs())
+                connection.send(
+                    protocol.encode_json_response(
+                        protocol.OP_TRACE_RESULT, request_id, snapshot
                     )
                 )
                 return

@@ -48,7 +48,13 @@ every worker, each worker drains its queue, reports its final STATS over a
 pipe and exits 0; the supervisor folds those per-worker payloads — plus the
 final STATS of workers retired by rolling reloads — into one fleet-wide
 summary (:func:`repro.serve.metrics.merge_fleet_stats`: summed counters,
-latency percentiles recomputed from merged reservoirs).
+latency percentiles recomputed from bucket-wise merged histograms).
+
+**Observability.**  The worker pipes double as a live control channel: the
+supervisor's ``/metrics`` endpoint (:meth:`FleetSupervisor.start_metrics`,
+``serve --metrics-port``) scrapes every worker's detailed STATS per GET and
+renders the fleet-merged Prometheus exposition; workers also honor the
+``REPRO_PROFILE`` / SIGUSR2 cProfile hook (:mod:`repro.obs.profile`).
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ import multiprocessing
 import os
 import signal
 import socket
+import threading
 import time
 from collections import deque
 from multiprocessing import connection as mp_connection
@@ -139,9 +146,16 @@ def _worker_main(path: str, config: dict, listen, conn) -> None:
     On SIGTERM the worker *drains* instead of dropping: stop accepting,
     answer everything already queued in the coalescer, flush and close the
     client connections (a clean EOF the clients retry against), then exit 0.
+
+    While serving, ``conn`` doubles as a control channel: the supervisor's
+    metrics endpoint sends ``("stats_request", detail)`` and the worker
+    answers ``("stats_snapshot", pid, stats)`` from the event loop — live
+    per-worker observability without consuming a client connection or
+    polluting the query counters.
     """
     import asyncio
 
+    from repro.obs.profile import install_profile_hook
     from repro.serve.server import LabelServer
 
     # the supervisor owns interactive interrupts; workers stop on SIGTERM
@@ -162,12 +176,37 @@ def _worker_main(path: str, config: dict, listen, conn) -> None:
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         loop.add_signal_handler(signal.SIGTERM, stop.set)
+        install_profile_hook(
+            loop,
+            slot=config.get("slot", 0),
+            generation=(config.get("generation") or {}).get("generation"),
+        )
         if isinstance(listen, socket.socket):
             address = await server.start(sock=listen)
         else:
             host, port = listen
             address = await server.start(host, port, reuse_port=True)
         conn.send(("ready", os.getpid(), address))
+
+        def on_control() -> None:
+            """Answer a supervisor stats request from the event loop."""
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                loop.remove_reader(conn.fileno())
+                return
+            if not (isinstance(message, tuple) and message):
+                return  # pragma: no cover - defensive
+            if message[0] == "stats_request":
+                detail = bool(message[1]) if len(message) > 1 else True
+                try:
+                    conn.send(
+                        ("stats_snapshot", os.getpid(), server.stats(detail=detail))
+                    )
+                except (BrokenPipeError, OSError):  # pragma: no cover - race
+                    pass
+
+        loop.add_reader(conn.fileno(), on_control)
         if plan is not None:
             exit_clause = plan.exit_clause()
             if exit_clause is not None:
@@ -182,10 +221,11 @@ def _worker_main(path: str, config: dict, listen, conn) -> None:
         await server.stop()
         await server.drain(drain_seconds)
         server.close_connections()
+        loop.remove_reader(conn.fileno())
         serving.cancel()
 
     asyncio.run(main())
-    conn.send(("stats", os.getpid(), server.stats(include_reservoir=True)))
+    conn.send(("stats", os.getpid(), server.stats(detail=True)))
     conn.close()
 
 
@@ -268,6 +308,12 @@ class FleetSupervisor:
         self.total_restarts = 0
         self.reloads = 0
         self.reuse_port = hasattr(socket, "SO_REUSEPORT")
+        #: serialises worker-pipe reads between the supervision thread and
+        #: the metrics endpoint's scrape thread — a scrape must never steal
+        #: a retiring worker's final stats message
+        self._pipe_lock = threading.Lock()
+        self._metrics_server = None
+        self.metrics_address: tuple[str, int] | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -537,11 +583,14 @@ class FleetSupervisor:
                 pass
         deadline = time.monotonic() + _STOP_TIMEOUT
         try:
-            while conn.poll(max(0.0, deadline - time.monotonic())):
-                kind, _pid, payload = conn.recv()
-                if kind == "stats":
-                    self._retired_stats.append(payload)
-                    break
+            with self._pipe_lock:
+                # skip stats_snapshot replies a metrics scrape left behind;
+                # only the worker's final "stats" message retires the slot
+                while conn.poll(max(0.0, deadline - time.monotonic())):
+                    kind, _pid, payload = conn.recv()
+                    if kind == "stats":
+                        self._retired_stats.append(payload)
+                        break
         except (EOFError, OSError):
             pass
         process.join(max(0.1, deadline - time.monotonic()))
@@ -553,6 +602,66 @@ class FleetSupervisor:
             conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
+
+    # -- observability -------------------------------------------------------
+
+    def scrape_stats(self, timeout: float = 2.0) -> list[dict]:
+        """One detailed STATS snapshot per live worker, over the control pipes.
+
+        Pipe-based (not probe connections), so a scrape is exact per worker —
+        it never depends on ``SO_REUSEPORT`` balancing landing one probe on
+        each worker — and never inflates the fleet's connection counters.
+        Dead or unresponsive workers are simply absent from the result.
+        """
+        with self._pipe_lock:
+            requested: list[_WorkerSlot] = []
+            for slot in self._slots:
+                if (
+                    slot.process is None
+                    or not slot.process.is_alive()
+                    or slot.conn is None
+                ):
+                    continue
+                try:
+                    slot.conn.send(("stats_request", True))
+                except (BrokenPipeError, OSError):  # pragma: no cover - race
+                    continue
+                requested.append(slot)
+            stats: list[dict] = []
+            deadline = time.monotonic() + timeout
+            for slot in requested:
+                try:
+                    while slot.conn.poll(max(0.0, deadline - time.monotonic())):
+                        kind, _pid, payload = slot.conn.recv()
+                        # a draining worker may answer with its final "stats"
+                        # instead of a snapshot; both are usable here
+                        if kind in ("stats_snapshot", "stats"):
+                            stats.append(payload)
+                            break
+                except (EOFError, OSError):
+                    continue
+            return stats
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition for one live fleet scrape."""
+        from repro.obs.prom import fleet_registry, render
+
+        stats = self.scrape_stats()
+        merged = merge_fleet_stats(stats) if stats else {"workers": 0}
+        # the supervisor's restart counter is authoritative: a scrape can
+        # miss a worker mid-replacement, per-slot sums cannot exceed it
+        merged["restarts"] = self.total_restarts
+        return render(fleet_registry(merged, supervisor=self.fleet_status()))
+
+    def start_metrics(self, port: int, host: str = "127.0.0.1") -> tuple[str, int]:
+        """Expose :meth:`render_metrics` on an HTTP endpoint (daemon thread)."""
+        from repro.obs.prom import MetricsServer
+
+        if self._metrics_server is not None:
+            raise RuntimeError("metrics endpoint already started")
+        self._metrics_server = MetricsServer(self.render_metrics, host, port)
+        self.metrics_address = self._metrics_server.start()
+        return self.metrics_address
 
     # -- status & teardown ---------------------------------------------------
 
@@ -590,6 +699,10 @@ class FleetSupervisor:
         lifetime counters survive replacement — with ``exit_codes``,
         ``restarts`` (supervisor-counted) and ``reloads`` added.
         """
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
+            self.metrics_address = None
         slots, self._slots = self._slots, []
         for slot in slots:
             process = slot.process
@@ -600,17 +713,18 @@ class FleetSupervisor:
                     pass
         deadline = time.monotonic() + _STOP_TIMEOUT
         stats: list[dict] = list(self._retired_stats)
-        for slot in slots:
-            if slot.conn is None:
-                continue
-            try:
-                while slot.conn.poll(max(0.0, deadline - time.monotonic())):
-                    kind, _pid, payload = slot.conn.recv()
-                    if kind == "stats":
-                        stats.append(payload)
-                        break
-            except (EOFError, OSError):
-                continue
+        with self._pipe_lock:
+            for slot in slots:
+                if slot.conn is None:
+                    continue
+                try:
+                    while slot.conn.poll(max(0.0, deadline - time.monotonic())):
+                        kind, _pid, payload = slot.conn.recv()
+                        if kind == "stats":
+                            stats.append(payload)
+                            break
+                except (EOFError, OSError):
+                    continue
         exit_codes: list[int | None] = []
         for slot in slots:
             process = slot.process

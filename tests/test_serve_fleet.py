@@ -433,6 +433,62 @@ def test_rolling_reload_under_continuous_load(store_file, store_file_b, tree, in
     assert fleet["queries"] >= len(pairs) * 2
 
 
+def test_traced_queries_survive_rolling_reload(store_file, store_file_b, tree, index):
+    """Trace propagation across reconnect-on-EOF and a rolling reload: a
+    traced pipelined round issued *after* the fleet rolled must come back
+    with complete per-stage spans stamped with the **new** store
+    generation — the trace ring lives in the replacement worker, and the
+    client reached it through at least one reconnect."""
+    supervisor = FleetSupervisor(store_file, workers=2, port=0)
+    host, port = supervisor.start()
+    old_generation = supervisor.generation["generation"]
+    pairs = random_pairs(tree, 60, seed=23)
+    expected = index.batch(pairs, raw=True)
+    try:
+        with LabelClient(host, port) as client:
+            # a traced warm-up round against the old fleet pins the old
+            # generation into the pre-reload spans
+            assert client.pipeline(pairs, raw=True, window=16, trace_every=10) == expected
+            pre_ids = set(client.traced_ids)
+
+            generation = supervisor.reload(store_file_b)["generation"]
+            assert generation != old_generation
+
+            # the old workers drained away: the next round hits EOF and
+            # reconnects (its re-issued requests are deliberately
+            # untraced — a retry must never double-record)
+            assert client.pipeline(pairs, raw=True, window=16, trace_every=10) == expected
+            assert client.reconnects >= 1
+
+            # a traced round on the settled connection lands in the
+            # replacement worker's ring
+            assert client.pipeline(pairs, raw=True, window=16, trace_every=10) == expected
+            post_ids = set(client.traced_ids) - pre_ids
+            assert post_ids
+
+            snapshot = client.trace(limit=0, slow=False)
+            assert snapshot["store_generation"] == generation
+            matched = [
+                trace
+                for trace in snapshot["traces"]
+                if trace["trace_id"] in post_ids
+            ]
+            assert matched, "no post-reload traced request reached this worker's ring"
+            for trace in matched:
+                assert trace["store_generation"] == generation
+                stages = [span["stage"] for span in trace["spans"]]
+                assert stages == ["decode", "queue", "batch", "encode", "write"]
+                assert all(span["ms"] >= 0.0 for span in trace["spans"])
+                assert trace["total_ms"] > 0.0
+            # nothing from the old generation leaks into the new ring
+            assert not any(
+                trace["store_generation"] == old_generation
+                for trace in snapshot["traces"]
+            )
+    finally:
+        supervisor.shutdown()
+
+
 def test_reload_aborts_cleanly_when_replacement_cannot_start(store_file, tmp_path):
     supervisor = FleetSupervisor(store_file, workers=1, port=0)
     host, port = supervisor.start()
