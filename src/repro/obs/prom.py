@@ -98,6 +98,8 @@ _COUNTERS = (
     ("busy_rejections", "repro_busy_rejections_total", "Requests shed with OP_BUSY backpressure"),
     ("connections_total", "repro_connections_total", "Client connections accepted"),
     ("restarts", "repro_worker_restarts_total", "Worker processes restarted after a crash"),
+    ("misroutes", "repro_misroutes_total", "Member requests served by a non-owning shard (legacy clients)"),
+    ("moved_redirects", "repro_moved_redirects_total", "OP_MOVED redirects sent to routed clients"),
 )
 
 _GAUGES = (
@@ -175,6 +177,13 @@ def fleet_registry(merged: dict, *, supervisor: dict | None = None) -> Registry:
                 "Hot-pair response cache hit rate", pair_cache.get("hit_rate", 0.0),
             )
 
+    if merged.get("routing_version"):
+        registry.gauge(
+            "repro_routing_table_version",
+            "Newest routing-table version any worker reports",
+            merged["routing_version"],
+        )
+
     for row in merged.get("per_worker", ()):
         slot = str(row.get("slot", 0))
         registry.gauge(
@@ -185,12 +194,25 @@ def fleet_registry(merged: dict, *, supervisor: dict | None = None) -> Registry:
             "repro_worker_restarts", "Restart count per worker slot",
             row.get("restarts", 0), slot=slot,
         )
+        if "members_assigned" in row:
+            registry.gauge(
+                "repro_worker_members",
+                "Catalog members assigned to the worker slot",
+                len(row["members_assigned"]), slot=slot,
+            )
 
     if supervisor is not None:
         registry.counter(
             "repro_fleet_reloads_total", "Completed rolling reloads",
             supervisor.get("reloads", 0),
         )
+        routing = supervisor.get("routing")
+        if routing and not merged.get("routing_version"):
+            registry.gauge(
+                "repro_routing_table_version",
+                "Newest routing-table version any worker reports",
+                routing.get("version", 0),
+            )
         for slot_row in supervisor.get("slots", ()):
             registry.gauge(
                 "repro_worker_up", "1 while the slot's worker process is alive",

@@ -63,15 +63,16 @@ a coalescing server may answer them out of order.
 Request payloads (``name`` is a uvarint-length-prefixed UTF-8 member name;
 empty selects the sole index of a single-store server)::
 
-    QUERY  (0x01)  name u:uvarint v:uvarint [trace]
-    BATCH  (0x02)  name count:uvarint (u:uvarint v:uvarint){count} [trace]
+    QUERY  (0x01)  name u:uvarint v:uvarint [suffix]
+    BATCH  (0x02)  name count:uvarint (u:uvarint v:uvarint){count} [suffix]
     MATRIX (0x03)  name count:uvarint explicit:u8 node:uvarint{count}
                    -- explicit=0 means "all nodes" (count is then 0)
     STATS  (0x04)  name [detail:u8]  -- empty name = server-wide counters
     INFO   (0x05)              -- no payload
     TRACE  (0x06)  limit:uvarint slow:u8  -- recent traces + slow log
 
-    trace  :=  0x01 trace_id:uvarint      -- optional trailing suffix
+    suffix :=  (tag:u8 value:uvarint)*    -- optional trailing fields in
+               -- ascending tag order: 0x01 trace_id, 0x02 route_version
 
 Response payloads::
 
@@ -79,6 +80,8 @@ Response payloads::
     STATS_RESULT (0x83)  len:uvarint json-utf8
     INFO_RESULT  (0x84)  len:uvarint json-utf8
     TRACE_RESULT (0x85)  len:uvarint json-utf8
+    MOVED        (0xFD)  version:uvarint name host:len-utf8 port:uvarint
+                         -- member owned elsewhere; retry there
     BUSY         (0xFE)  retry_after_ms:uvarint   -- backpressure shed
     ERROR        (0xFF)  len:uvarint utf8-message
 
@@ -99,18 +102,35 @@ queueing it, and the clients retry with jittered backoff.  The additive
 ``"generation"`` capability means INFO carries a ``store`` block (path,
 bytes, content-hash ``generation``) and STATS a ``store_generation``
 field, so rolling reloads are observable over the wire.  The additive
-``"tracing"`` capability covers the optional ``trace`` suffix on
-QUERY/BATCH (servers that predate it ignore trailing request bytes, so
-stamped requests degrade to untraced ones) and the TRACE opcode; a
-request without the suffix is byte-identical to its pre-tracing
-encoding.
+``"tracing"`` capability covers the optional ``0x01 trace_id`` suffix
+field on QUERY/BATCH (servers that predate it ignore trailing request
+bytes, so stamped requests degrade to untraced ones) and the TRACE
+opcode; a request without suffix fields is byte-identical to its
+pre-suffix encoding.  The additive ``"routing"`` capability means a
+sharded fleet (``serve --shard-members``) publishes its consistent-hash
+routing table in the INFO payload's ``routing`` block (version,
+replication, member → owning slots, slot → direct ``(host, port)``);
+clients that fetch it pin each member's traffic to the owning shard's
+direct port and stamp requests with the ``0x02 route_version`` suffix
+field.  A sharded worker answers a *stamped* request for a member it
+does not own with MOVED naming the owner — Redis-cluster style — which
+the clients follow (bounded, then shared-address fallback); unstamped
+legacy requests are served in place via a lazy fallback open, so old
+clients keep byte-identical behaviour.
 """
 
 from __future__ import annotations
 
-from repro.serve.client import AsyncLabelClient, LabelClient, ServerBusy, ServerError
+from repro.serve.client import (
+    AsyncLabelClient,
+    LabelClient,
+    ServerBusy,
+    ServerError,
+    ServerMoved,
+)
 from repro.serve.protocol import ProtocolError
 from repro.serve.retry import RestartPolicy
+from repro.serve.routing import HashRing, build_routing_table
 from repro.serve.server import LabelServer, ServingCore, serve
 from repro.serve.supervisor import FleetCrashLoop, FleetSupervisor, store_generation
 
@@ -126,5 +146,8 @@ __all__ = [
     "AsyncLabelClient",
     "ServerError",
     "ServerBusy",
+    "ServerMoved",
     "ProtocolError",
+    "HashRing",
+    "build_routing_table",
 ]

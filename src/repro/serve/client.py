@@ -62,6 +62,26 @@ class ServerBusy(ServerError):
         self.retry_after_ms = retry_after_ms
 
 
+class ServerMoved(ServerError):
+    """An :data:`repro.serve.protocol.OP_MOVED` redirect hint.
+
+    A routed request named a member the answering worker does not own; the
+    hint carries the owning slot's direct endpoint and the authoritative
+    routing-table version.  Routed clients apply the hint and re-issue the
+    request (queries are read-only, so the re-send is always safe).
+    """
+
+    def __init__(self, version: int, member: str, host: str, port: int) -> None:
+        super().__init__(
+            f"member {member!r} is owned elsewhere: {host}:{port} "
+            f"(routing table v{version})"
+        )
+        self.version = version
+        self.member = member
+        self.host = host
+        self.port = port
+
+
 _BEYOND = QueryResult(None, False, False, None)
 
 
@@ -107,6 +127,8 @@ class LabelClient:
         busy_retries: int = 8,
         busy_base_delay: float = 0.002,
         reconnect_retries: int = 8,
+        route: bool = False,
+        route_retries: int = 3,
     ) -> None:
         self._remote = (host, port)
         self._timeout = timeout
@@ -121,6 +143,22 @@ class LabelClient:
         self.busy_retried = 0
         #: lifetime count of connections re-established after a drop
         self.reconnects = 0
+        #: member-aware routing (the ``routing`` feature): with ``route=True``
+        #: the client fetches the fleet's routing table from INFO and pins
+        #: per-member requests straight to the owning shard's direct port,
+        #: applying ``MOVED`` redirect hints when its table goes stale and
+        #: falling back to the shared address when routing cannot help
+        self.route = route
+        self.route_retries = route_retries
+        self.route_redirects = 0  #: lifetime MOVED hints applied
+        self._route_table: dict | None = None
+        self._route_checked = False
+        self._route_pool: dict[tuple[str, int], "LabelClient"] = {}
+        self._route_overrides: dict[str, tuple[str, int]] = {}
+        #: when set, QUERY/BATCH frames carry the route-version suffix — the
+        #: marker that lets a sharded worker answer MOVED instead of serving
+        #: a member it does not own (routed leaf connections set this)
+        self._route_stamp: int | None = None
         #: trace ids this client stamped on requests (``pipeline`` sampling
         #: and explicit ``trace_id=`` calls); random base so ids from many
         #: clients against one fleet don't collide
@@ -176,12 +214,92 @@ class LabelClient:
         self.close()
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection and any routed leaf connections (idempotent)."""
+        pool, self._route_pool = self._route_pool, {}
+        for leaf in pool.values():
+            leaf.close()
         if self._sock is not None:
             try:
                 self._sock.close()
             finally:
                 self._sock = None
+
+    # -- member-aware routing --------------------------------------------------
+
+    def _ensure_routing(self) -> None:
+        """Fetch the fleet's routing table once (no table ⇒ shared address)."""
+        if self._route_checked:
+            return
+        self._route_checked = True
+        try:
+            self._route_table = self.info().get("routing")
+        except ServerError:  # pragma: no cover - defensive
+            self._route_table = None
+        if self._route_table is not None:
+            self._route_stamp = int(self._route_table.get("version", 0))
+
+    def routing_table(self) -> dict | None:
+        """The routing table this client is working from (fetched lazily)."""
+        self._ensure_routing()
+        return self._route_table
+
+    def _make_leaf(self, host: str, port: int) -> "LabelClient":
+        leaf = LabelClient(
+            host,
+            port,
+            timeout=self._timeout,
+            busy_retries=self.busy_retries,
+            busy_base_delay=self.busy_base_delay,
+            reconnect_retries=self.reconnect_retries,
+        )
+        return leaf
+
+    def _leaf_for(self, name: str) -> "LabelClient | None":
+        """The pooled connection pinned to ``name``'s owning shard."""
+        from repro.serve.routing import member_endpoint
+
+        endpoint = self._route_overrides.get(name)
+        if endpoint is None and self._route_table is not None:
+            endpoint = member_endpoint(self._route_table, name)
+        if endpoint is None:
+            return None
+        leaf = self._route_pool.get(endpoint)
+        if leaf is None:
+            leaf = self._route_pool[endpoint] = self._make_leaf(*endpoint)
+        leaf._route_stamp = self._route_stamp
+        return leaf
+
+    def _apply_moved(self, moved: ServerMoved) -> None:
+        """Adopt a MOVED hint: pin the member, advance the table version."""
+        self.route_redirects += 1
+        self._route_overrides[moved.member] = (moved.host, moved.port)
+        if self._route_stamp is None or moved.version > self._route_stamp:
+            self._route_stamp = moved.version
+
+    def _routed_call(self, name: str, call):
+        """Run ``call(client)`` against ``name``'s owner, following redirects.
+
+        Falls back to the shared address — with an *unstamped* leaf, which a
+        sharded worker always serves in place — when there is no table, no
+        owner endpoint, or the redirect budget is spent (a pathological
+        routing loop must degrade to the legacy path, not fail).
+        """
+        self._ensure_routing()
+        redirects = 0
+        while redirects <= self.route_retries:
+            leaf = self._leaf_for(name)
+            if leaf is None:
+                break
+            try:
+                return call(leaf)
+            except ServerMoved as moved:
+                self._apply_moved(moved)
+                redirects += 1
+        fallback = self._route_pool.get(self._remote)
+        if fallback is None:
+            fallback = self._route_pool[self._remote] = self._make_leaf(*self._remote)
+        fallback._route_stamp = None
+        return call(fallback)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -195,6 +313,8 @@ class LabelClient:
                     raise ServerBusy(payload)
                 if op == protocol.OP_ERROR:
                     raise ServerError(payload)
+                if op == protocol.OP_MOVED:
+                    raise ServerMoved(*payload)
                 return op, payload
             chunk = self._sock.recv(65536)
             if not chunk:
@@ -247,9 +367,14 @@ class LabelClient:
         server records per-stage spans for it, retrievable via
         :meth:`trace`.  Old servers ignore the field.
         """
+        if self.route:
+            return self._routed_call(
+                name, lambda c: c.query(u, v, name=name, raw=raw, trace_id=trace_id)
+            )
         _, payload = self._roundtrip(
             lambda request_id: protocol.encode_query(
-                request_id, u, v, name, trace_id=trace_id
+                request_id, u, v, name,
+                trace_id=trace_id, route_version=self._route_stamp,
             )
         )
         return _unwrap(payload, raw)[0]
@@ -260,15 +385,24 @@ class LabelClient:
     ) -> list:
         """Answer many pairs with a single BATCH request."""
         pairs = list(pairs)
+        if self.route:
+            return self._routed_call(
+                name, lambda c: c.batch(pairs, name=name, raw=raw, trace_id=trace_id)
+            )
         _, payload = self._roundtrip(
             lambda request_id: protocol.encode_batch(
-                request_id, pairs, name, trace_id=trace_id
+                request_id, pairs, name,
+                trace_id=trace_id, route_version=self._route_stamp,
             )
         )
         return _unwrap(payload, raw)
 
     def matrix(self, nodes=None, *, name: str = "", raw: bool = False) -> list[list]:
         """All pairwise answers over ``nodes`` (default: every node)."""
+        if self.route:
+            return self._routed_call(
+                name, lambda c: c.matrix(nodes, name=name, raw=raw)
+            )
         if nodes is not None:
             nodes = list(nodes)
             size = len(nodes)
@@ -295,6 +429,22 @@ class LabelClient:
             )
         )
         return payload
+
+    def stats_all(self, *, detail: bool = False) -> list[dict]:
+        """STATS from this connection plus every routed leaf connection.
+
+        Fleet-merging consumers (``loadgen``) feed the list straight to
+        :func:`repro.serve.metrics.merge_fleet_stats`, which dedupes rows by
+        ``(slot, pid)`` — the direct connections a routed client holds are
+        how it observes the specific workers it actually queried.
+        """
+        payloads = [self.stats(detail=detail)]
+        for leaf in list(self._route_pool.values()):
+            try:
+                payloads.append(leaf.stats(detail=detail))
+            except (ServerError, ConnectionError, OSError):
+                continue
+        return payloads
 
     def trace(self, *, limit: int = 32, slow: bool = True) -> dict:
         """The worker's recent-trace ring and slow-query log (OP_TRACE)."""
@@ -333,6 +483,16 @@ class LabelClient:
         (BUSY/reconnect rounds) are never traced.
         """
         pairs = list(pairs)
+        if self.route:
+            # the whole window goes to one member's owner; on a stale-table
+            # MOVED the full (read-only) window is re-asked at the corrected
+            # endpoint — at most one redirect per member per staleness event
+            return self._routed_call(
+                name,
+                lambda c: c.pipeline(
+                    pairs, name=name, raw=raw, window=window, trace_every=trace_every
+                ),
+            )
         if window < 1:
             raise ValueError("window must be at least 1")
         outcomes: list = [None] * len(pairs)
@@ -363,6 +523,10 @@ class LabelClient:
                     busy.append(slot)
                 elif op == protocol.OP_ERROR:
                     raise ServerError(payload)
+                elif op == protocol.OP_MOVED:
+                    # stale routing table: the caller (a routed parent)
+                    # re-runs the window against the corrected endpoint
+                    raise ServerMoved(*payload)
                 else:
                     outcomes[slot] = payload
             if busy:
@@ -392,7 +556,10 @@ class LabelClient:
                 if trace_every and index % trace_every == 0
                 else None
             )
-            backlog += protocol.encode_query(ids[index], u, v, name, trace_id=trace_id)
+            backlog += protocol.encode_query(
+                ids[index], u, v, name,
+                trace_id=trace_id, route_version=self._route_stamp,
+            )
             sent += 1
             if sent - len(results) >= window or len(backlog) >= 65536:
                 self._sock.sendall(backlog)
@@ -426,6 +593,8 @@ class AsyncLabelClient:
         busy_retries: int = 8,
         busy_base_delay: float = 0.002,
         reconnect_retries: int = 8,
+        route: bool = False,
+        route_retries: int = 3,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -440,6 +609,17 @@ class AsyncLabelClient:
         self.busy_retries = busy_retries
         self.busy_base_delay = busy_base_delay
         self.reconnect_retries = reconnect_retries
+        #: member-aware routing (see :class:`LabelClient`): per-member
+        #: direct connections, MOVED hint handling, shared-address fallback
+        self.route = route
+        self.route_retries = route_retries
+        self.route_redirects = 0
+        self._route_table: dict | None = None
+        self._route_checked = False
+        self._route_pool: dict[tuple[str, int], "AsyncLabelClient"] = {}
+        self._route_overrides: dict[str, tuple[str, int]] = {}
+        self._route_stamp: int | None = None
+        self._route_fetch: asyncio.Future | None = None
         #: lifetime count of BUSY responses this client retried
         self.busy_retried = 0
         #: lifetime count of connections re-established after a drop
@@ -513,8 +693,11 @@ class AsyncLabelClient:
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     async def close(self) -> None:
-        """Cancel the reader task and close the connection."""
+        """Cancel the reader task and close the connection (pool included)."""
         self._closed = True
+        pool, self._route_pool = self._route_pool, {}
+        for leaf in pool.values():
+            await leaf.close()
         self._reader_task.cancel()
         try:
             await self._reader_task
@@ -549,6 +732,8 @@ class AsyncLabelClient:
                             future.set_exception(ServerBusy(payload))
                         elif op == protocol.OP_ERROR:
                             future.set_exception(ServerError(payload))
+                        elif op == protocol.OP_MOVED:
+                            future.set_exception(ServerMoved(*payload))
                         else:
                             future.set_result((op, payload))
         except asyncio.CancelledError:
@@ -602,6 +787,95 @@ class AsyncLabelClient:
                     raise
                 await self._reconnect(drops)
 
+    # -- member-aware routing --------------------------------------------------
+
+    async def _ensure_routing(self) -> None:
+        """Fetch the fleet's routing table once (no table ⇒ shared address).
+
+        Concurrent callers (``asyncio.gather`` of routed requests) await the
+        in-flight fetch instead of falling back unrouted — otherwise every
+        gather but the first would miss the table and go unstamped through
+        the shared address.
+        """
+        if self._route_checked:
+            if self._route_fetch is not None:
+                await asyncio.shield(self._route_fetch)
+            return
+        self._route_checked = True
+        fetch = self._route_fetch = asyncio.get_running_loop().create_future()
+        try:
+            try:
+                self._route_table = (await self.info()).get("routing")
+            except ServerError:  # pragma: no cover - defensive
+                self._route_table = None
+            if self._route_table is not None:
+                self._route_stamp = int(self._route_table.get("version", 0))
+        finally:
+            self._route_fetch = None
+            fetch.set_result(None)
+
+    async def routing_table(self) -> dict | None:
+        """The routing table this client is working from (fetched lazily)."""
+        await self._ensure_routing()
+        return self._route_table
+
+    async def _make_leaf(self, host: str, port: int) -> "AsyncLabelClient":
+        return await AsyncLabelClient.connect(
+            host,
+            port,
+            busy_retries=self.busy_retries,
+            busy_base_delay=self.busy_base_delay,
+            reconnect_retries=self.reconnect_retries,
+        )
+
+    async def _leaf_for(self, name: str) -> "AsyncLabelClient | None":
+        """The pooled connection pinned to ``name``'s owning shard."""
+        from repro.serve.routing import member_endpoint
+
+        endpoint = self._route_overrides.get(name)
+        if endpoint is None and self._route_table is not None:
+            endpoint = member_endpoint(self._route_table, name)
+        if endpoint is None:
+            return None
+        leaf = self._route_pool.get(endpoint)
+        if leaf is None:
+            leaf = self._route_pool[endpoint] = await self._make_leaf(*endpoint)
+        leaf._route_stamp = self._route_stamp
+        return leaf
+
+    def _apply_moved(self, moved: ServerMoved) -> None:
+        """Adopt a MOVED hint: pin the member, advance the table version."""
+        self.route_redirects += 1
+        self._route_overrides[moved.member] = (moved.host, moved.port)
+        if self._route_stamp is None or moved.version > self._route_stamp:
+            self._route_stamp = moved.version
+
+    async def _routed_call(self, name: str, call):
+        """Run ``await call(client)`` against ``name``'s owner (see
+        :meth:`LabelClient._routed_call` for the redirect/fallback contract)."""
+        await self._ensure_routing()
+        redirects = 0
+        while redirects <= self.route_retries:
+            leaf = await self._leaf_for(name)
+            if leaf is None:
+                break
+            try:
+                return await call(leaf)
+            except ServerMoved as moved:
+                self._apply_moved(moved)
+                redirects += 1
+        if self._remote is None:
+            raise ConnectionError(
+                "routed requests need an address-aware client (use connect())"
+            )
+        fallback = self._route_pool.get(self._remote)
+        if fallback is None:
+            fallback = self._route_pool[self._remote] = await self._make_leaf(
+                *self._remote
+            )
+        fallback._route_stamp = None
+        return await call(fallback)
+
     # -- requests ------------------------------------------------------------
 
     async def query(
@@ -613,9 +887,14 @@ class AsyncLabelClient:
         ``trace_id`` stamps the request with the additive trace field (see
         :meth:`trace`); old servers ignore it.
         """
+        if self.route:
+            return await self._routed_call(
+                name, lambda c: c.query(u, v, name=name, raw=raw, trace_id=trace_id)
+            )
         _, payload = await self._request(
             lambda request_id: protocol.encode_query(
-                request_id, u, v, name, trace_id=trace_id
+                request_id, u, v, name, trace_id=trace_id,
+                route_version=self._route_stamp,
             )
         )
         return _unwrap(payload, raw)[0]
@@ -626,15 +905,25 @@ class AsyncLabelClient:
     ) -> list:
         """Answer many pairs with a single BATCH request."""
         pairs = list(pairs)
+        if self.route:
+            return await self._routed_call(
+                name,
+                lambda c: c.batch(pairs, name=name, raw=raw, trace_id=trace_id),
+            )
         _, payload = await self._request(
             lambda request_id: protocol.encode_batch(
-                request_id, pairs, name, trace_id=trace_id
+                request_id, pairs, name, trace_id=trace_id,
+                route_version=self._route_stamp,
             )
         )
         return _unwrap(payload, raw)
 
     async def matrix(self, nodes=None, *, name: str = "", raw: bool = False) -> list[list]:
         """All pairwise answers over ``nodes`` (default: every node)."""
+        if self.route:
+            return await self._routed_call(
+                name, lambda c: c.matrix(nodes, name=name, raw=raw)
+            )
         if nodes is not None:
             nodes = list(nodes)
             size = len(nodes)
@@ -660,6 +949,20 @@ class AsyncLabelClient:
             )
         )
         return payload
+
+    async def stats_all(self, *, detail: bool = False) -> list[dict]:
+        """STATS from this connection plus every pooled routed connection.
+
+        Routed clients spread work over per-shard connections; a single
+        :meth:`stats` only reflects whichever worker this socket landed on.
+        """
+        rows = [await self.stats(detail=detail)]
+        for leaf in list(self._route_pool.values()):
+            try:
+                rows.append(await leaf.stats(detail=detail))
+            except (ServerError, ConnectionError, OSError):
+                continue
+        return rows
 
     async def trace(self, *, limit: int = 32, slow: bool = True) -> dict:
         """The worker's recent-trace ring and slow-query log (OP_TRACE)."""
@@ -701,6 +1004,17 @@ class AsyncLabelClient:
         pairs = list(pairs)
         if window < 1:
             raise ValueError("window must be at least 1")
+        if self.route:
+            # the whole (read-only) run re-executes on the corrected
+            # connection after a MOVED, so each member costs at most one
+            # redirect (see LabelClient.pipeline)
+            return await self._routed_call(
+                name,
+                lambda c: c.pipeline(
+                    pairs, name=name, raw=raw, window=window,
+                    trace_every=trace_every,
+                ),
+            )
         outcomes: list = [None] * len(pairs)
         todo = list(range(len(pairs)))
         attempt = 0
@@ -777,6 +1091,11 @@ class AsyncLabelClient:
 
         prefix = bytes([protocol.OP_QUERY])
         encoded_name = uvarint(len(name.encode("utf-8"))) + name.encode("utf-8")
+        route_suffix = (
+            b"\x02" + uvarint(self._route_stamp)
+            if self._route_stamp is not None
+            else b""
+        )
         create_future = loop.create_future
         futures: list[asyncio.Future] = []
         backlog = bytearray()
@@ -803,6 +1122,7 @@ class AsyncLabelClient:
                 # the additive trace suffix; sampled requests are rare, so
                 # the two extra concatenations stay off the common path
                 body += b"\x01" + uvarint(self.next_trace_id())
+            body += route_suffix
             backlog += uvarint(len(body))
             backlog += body
             if len(backlog) >= 32768:

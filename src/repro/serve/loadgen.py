@@ -78,6 +78,22 @@ async def _chaos_kill_workers(
         kills.append(pid)
 
 
+def member_pair_counts(count: int, members: int, member_skew: float) -> list[int]:
+    """Split ``count`` pairs over ``members`` by Zipf rank weight.
+
+    ``member_skew=0`` is a uniform split; larger skews concentrate traffic
+    on the first-ranked members (the shape the sharded bench uses to model
+    hot catalog members).  Counts always sum to ``count``.
+    """
+    if members < 1:
+        raise ValueError("need at least one member")
+    weights = [1.0 / (rank + 1) ** member_skew for rank in range(members)]
+    total = sum(weights)
+    counts = [int(count * weight / total) for weight in weights]
+    counts[0] += count - sum(counts)
+    return counts
+
+
 async def _run_load_async(
     host: str,
     port: int,
@@ -95,6 +111,9 @@ async def _run_load_async(
     hops: int,
     chaos: str | None,
     trace_every: int,
+    members: list[str] | None,
+    member_skew: float,
+    route: bool,
 ) -> dict:
     if connections < 1:
         raise ValueError("connections must be at least 1")
@@ -105,29 +124,46 @@ async def _run_load_async(
     if trace_every and mode != "pipeline":
         raise ValueError("tracing requires mode='pipeline'")
     chaos_plan = parse_chaos(chaos) if chaos else None
-    clients = [await AsyncLabelClient.connect(host, port) for _ in range(connections)]
+    clients = [
+        await AsyncLabelClient.connect(host, port, route=route)
+        for _ in range(connections)
+    ]
     try:
         info = await clients[0].info()
-        members = info["members"]
-        if name not in members:
-            raise ValueError(
-                f"no member named {name!r} on the server; members: {sorted(members)}"
-            )
-        n = members[name]["n"]
-        params = {}
-        target: object = n
-        if workload == "zipf":
-            params = {"skew": skew}
-        elif workload in ("sibling", "khop"):
-            # the server only reports n; rebuild the tree the index came
-            # from so the structural workload can read its shape
-            from repro.generators.workloads import make_tree
+        served = info["members"]
+        targets = list(members) if members else [name]
+        for member in targets:
+            if member not in served:
+                raise ValueError(
+                    f"no member named {member!r} on the server; "
+                    f"members: {sorted(served)}"
+                )
+        counts = member_pair_counts(pairs, len(targets), member_skew)
+        # one workload per member (each member may have its own node count),
+        # seeded by member rank so shards differ but stay reproducible
+        works: list[tuple[str, list]] = []
+        for rank, (member, count) in enumerate(zip(targets, counts)):
+            n = served[member]["n"]
+            params = {}
+            target: object = n
+            if workload == "zipf":
+                params = {"skew": skew}
+            elif workload in ("sibling", "khop"):
+                # the server only reports n; rebuild the tree the index came
+                # from so the structural workload can read its shape
+                from repro.generators.workloads import make_tree
 
-            target = make_tree(family, n, tree_seed)
-            if workload == "khop":
-                params = {"hops": hops}
-        work = pair_workload(workload, target, pairs, seed, **params)
-        shards = [work[index::connections] for index in range(connections)]
+                target = make_tree(family, n, tree_seed)
+                if workload == "khop":
+                    params = {"hops": hops}
+            works.append(
+                (member, pair_workload(workload, target, count, seed + rank, **params))
+            )
+        # per connection: its slice of every member's workload
+        shards = [
+            [(member, work[index::connections]) for member, work in works]
+            for index in range(connections)
+        ]
 
         kills: list[int] = []
         chaos_task = None
@@ -138,30 +174,42 @@ async def _run_load_async(
         started = time.perf_counter()
         try:
             if mode == "pipeline":
-                shard_results = await asyncio.gather(
-                    *(
-                        client.pipeline(
-                            shard,
-                            name=name,
-                            raw=True,
-                            window=window,
-                            trace_every=trace_every,
-                        )
-                        for client, shard in zip(clients, shards)
-                    )
-                )
-            else:
-                # BATCH mode: window-sized OP_BATCH requests, all in flight at once
-                async def run_shard(client, shard):
-                    chunks = [shard[pos : pos + window] for pos in range(0, len(shard), window)]
+
+                async def run_shard(client, jobs):
                     answered = await asyncio.gather(
-                        *(client.batch(chunk, name=name, raw=True) for chunk in chunks)
+                        *(
+                            client.pipeline(
+                                work,
+                                name=member,
+                                raw=True,
+                                window=window,
+                                trace_every=trace_every,
+                            )
+                            for member, work in jobs
+                            if work
+                        )
                     )
                     return [value for chunk in answered for value in chunk]
 
-                shard_results = await asyncio.gather(
-                    *(run_shard(client, shard) for client, shard in zip(clients, shards))
-                )
+            else:
+                # BATCH mode: window-sized OP_BATCH requests, all in flight at once
+                async def run_shard(client, jobs):
+                    chunks = [
+                        (member, work[pos : pos + window])
+                        for member, work in jobs
+                        for pos in range(0, len(work), window)
+                    ]
+                    answered = await asyncio.gather(
+                        *(
+                            client.batch(chunk, name=member, raw=True)
+                            for member, chunk in chunks
+                        )
+                    )
+                    return [value for chunk in answered for value in chunk]
+
+            shard_results = await asyncio.gather(
+                *(run_shard(client, jobs) for client, jobs in zip(clients, shards))
+            )
         finally:
             if chaos_task is not None:
                 chaos_task.cancel()
@@ -171,16 +219,34 @@ async def _run_load_async(
                     pass
         elapsed = max(time.perf_counter() - started, 1e-9)
         # every connection may face a different worker: collect all STATS
-        # payloads and fold them into one fleet view (reservoirs merged)
-        per_connection = await asyncio.gather(
-            *(client.stats(name, detail=True) for client in clients)
-        )
-        stats = merge_fleet_stats(list(per_connection))
-        busy_retried = sum(client.busy_retried for client in clients)
-        reconnects = sum(client.reconnects for client in clients)
+        # payloads and fold them into one fleet view (reservoirs merged).
+        # Routed clients additionally poll their per-shard pooled
+        # connections, so the merge sees every worker the run touched.
+        if route:
+            per_connection = await asyncio.gather(
+                *(client.stats_all(detail=True) for client in clients)
+            )
+            rows = [stats for group in per_connection for stats in group]
+        else:
+            rows = list(
+                await asyncio.gather(
+                    *(client.stats(name, detail=True) for client in clients)
+                )
+            )
+        stats = merge_fleet_stats(rows)
+        # routed runs do the real work on pooled per-shard connections, so
+        # fold their retry counters into the client-side totals too
+        conns = [
+            peer
+            for client in clients
+            for peer in (client, *client._route_pool.values())
+        ]
+        busy_retried = sum(peer.busy_retried for peer in conns)
+        reconnects = sum(peer.reconnects for peer in conns)
+        route_redirects = sum(client.route_redirects for client in clients)
         tracing = None
         if trace_every:
-            tracing = await _collect_traces(clients, trace_every)
+            tracing = await _collect_traces(conns, trace_every)
     finally:
         for client in clients:
             await client.close()
@@ -191,6 +257,10 @@ async def _run_load_async(
         "host": host,
         "port": port,
         "member": name,
+        "members": targets if members else None,
+        "member_skew": member_skew if members else None,
+        "route": route,
+        "route_redirects": route_redirects,
         "workload": workload,
         "skew": skew if workload == "zipf" else None,
         "mode": mode,
@@ -203,6 +273,7 @@ async def _run_load_async(
         "busy_retried": busy_retried,
         "reconnects": reconnects,
         "workers": stats["workers"],
+        "restarts_observed": stats.get("restarts_observed", 0),
         "server": stats,
     }
     if tracing is not None:
@@ -282,6 +353,9 @@ def run_load(
     hops: int = 4,
     chaos: str | None = None,
     trace_every: int = 0,
+    members: list[str] | None = None,
+    member_skew: float = 0.0,
+    route: bool = False,
 ) -> dict:
     """Drive a serve endpoint and return a metrics dict.
 
@@ -298,6 +372,15 @@ def run_load(
     supervised fleet on this machine.  ``trace_every=N`` samples every Nth
     pipelined request for server-side tracing and adds the per-stage
     breakdown as ``report["tracing"]``.
+
+    ``members=[...]`` spreads the workload over several catalog members
+    (pairs split by Zipf rank weight, ``member_skew=0`` uniform), and
+    ``route=True`` lets clients consult the fleet's routing table and pin
+    per-member traffic to the owning shard (see
+    :class:`repro.serve.client.LabelClient`).  Fleet STATS are then
+    collected from every pooled per-shard connection and merged by
+    ``(slot, pid)``, so ``report["restarts_observed"]`` counts workers
+    that were replaced mid-run.
     """
     return asyncio.run(
         _run_load_async(
@@ -316,5 +399,8 @@ def run_load(
             hops=hops,
             chaos=chaos,
             trace_every=trace_every,
+            members=members,
+            member_skew=member_skew,
+            route=route,
         )
     )

@@ -59,6 +59,8 @@ _SUMMED_COUNTERS = (
     "connections_total",
     "restarts",
     "rss_bytes",
+    "misroutes",
+    "moved_redirects",
 )
 
 
@@ -66,19 +68,30 @@ def merge_fleet_stats(stats_list: list[dict]) -> dict:
     """One fleet-wide stats payload from many per-worker STATS payloads.
 
     ``stats_list`` may contain several snapshots of the same worker (e.g.
-    one per loadgen connection); only the last snapshot per ``worker`` id is
-    kept.  The result mirrors the per-worker payload shape — the same keys a
-    single-process consumer reads — plus ``workers`` (distinct worker count)
-    and ``per_worker`` (one compact row per worker).
+    one per loadgen connection); only the last snapshot per ``(slot, pid)``
+    incarnation is kept.  De-duplicating by pid alone would conflate a
+    restarted slot's old and new incarnations when both snapshots are in
+    the list (a supervisor re-fork mid-run); keying by slot alone would
+    drop the dead incarnation's counters.  The result mirrors the
+    per-worker payload shape — the same keys a single-process consumer
+    reads — plus ``workers`` (distinct snapshot count), ``slots``
+    (distinct slot count) and ``restarts_observed`` (snapshots beyond one
+    per slot — i.e. how many worker replacements the collection itself
+    witnessed), and ``per_worker`` (one compact row per snapshot).
     """
     by_worker: dict[object, dict] = {}
     for stats in stats_list:
-        by_worker[stats.get("worker")] = stats
+        by_worker[(stats.get("slot", 0), stats.get("worker"))] = stats
     workers = list(by_worker.values())
     if not workers:
         raise ValueError("merge_fleet_stats needs at least one stats payload")
 
-    merged: dict = {"workers": len(workers)}
+    slots = {stats.get("slot", 0) for stats in workers}
+    merged: dict = {
+        "workers": len(workers),
+        "slots": len(slots),
+        "restarts_observed": len(workers) - len(slots),
+    }
     for key in _SUMMED_COUNTERS:
         merged[key] = sum(stats.get(key, 0) for stats in workers)
     merged["qps"] = round(sum(stats.get("qps", 0.0) for stats in workers), 1)
@@ -108,6 +121,15 @@ def merge_fleet_stats(stats_list: list[dict]) -> dict:
         merged["store_generation"] = (
             generations[0] if len(generations) == 1 else ",".join(generations)
         )
+    # routing table version: the fleet is "at" the newest table any worker
+    # reports (mid-reload the retiring workers still carry the old one)
+    versions = [
+        stats["routing_version"]
+        for stats in workers
+        if stats.get("routing_version")
+    ]
+    if versions:
+        merged["routing_version"] = max(versions)
 
     # fleet latency: merge histogram buckets when the payloads carry them
     # (exact — every worker weighted by its true sample count), otherwise
@@ -165,6 +187,16 @@ def merge_fleet_stats(stats_list: list[dict]) -> dict:
             "busy_rejections": stats.get("busy_rejections", 0),
             "p50_ms": stats.get("latency_ms", {}).get("p50", 0.0),
             "p99_ms": stats.get("latency_ms", {}).get("p99", 0.0),
+            **(
+                {"members_open": stats["members_open"]}
+                if "members_open" in stats
+                else {}
+            ),
+            **(
+                {"members_assigned": stats["members_assigned"]}
+                if "members_assigned" in stats
+                else {}
+            ),
         }
         for stats in workers
     ]

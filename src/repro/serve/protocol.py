@@ -9,8 +9,8 @@ the byte-level encoders/decoders shared by :mod:`repro.serve.server` and
 
 Requests and responses are plain tuples/dataclass-free values so both ends
 stay allocation-light on the hot path: the server decodes a request body
-into ``(op, request_id, name, payload, trace_id)`` and the client decodes a
-response body into ``(op, request_id, payload)``.
+into ``(op, request_id, name, payload, trace_id, route_version)`` and the
+client decodes a response body into ``(op, request_id, payload)``.
 """
 
 from __future__ import annotations
@@ -34,7 +34,15 @@ PROTOCOL_VERSION = 1
 #: (flag byte ``0x01`` + uvarint) and the server answers :data:`OP_TRACE`
 #: with its recent-trace ring and slow-query log; servers without the
 #: feature ignore the trailing bytes and serve the query unchanged.
-PROTOCOL_FEATURES = ("busy", "generation", "tracing")
+#: ``routing`` means INFO publishes the fleet's member→slot routing table
+#: (version, member owners, per-slot direct endpoints), QUERY/BATCH accept
+#: an optional route-version suffix field (tag byte ``0x02`` + uvarint),
+#: and a routed request for a member this worker does not own is answered
+#: with :data:`OP_MOVED` (the owning slot's endpoint + the authoritative
+#: table version) instead of being served — Redis-cluster-style redirect
+#: hints.  Requests without the suffix are always served in place, so
+#: pre-routing clients keep working byte-identically.
+PROTOCOL_FEATURES = ("busy", "generation", "tracing", "routing")
 
 #: hard ceiling on one frame's body, server- and client-side (a matrix
 #: response over a few thousand nodes fits comfortably; anything larger is
@@ -54,12 +62,21 @@ OP_RESULT = 0x81  #: answers to QUERY / BATCH / MATRIX
 OP_STATS_RESULT = 0x83  #: JSON statistics blob
 OP_INFO_RESULT = 0x84  #: JSON member listing
 OP_TRACE_RESULT = 0x85  #: JSON trace ring / slow-query log
+OP_MOVED = 0xFD  #: redirect hint: another slot owns the member (``routing``)
 OP_BUSY = 0xFE  #: backpressure: the request was shed, retry after a delay
 OP_ERROR = 0xFF  #: request-scoped failure (connection stays usable)
 
 REQUEST_OPS = frozenset({OP_QUERY, OP_BATCH, OP_MATRIX, OP_STATS, OP_INFO, OP_TRACE})
 RESPONSE_OPS = frozenset(
-    {OP_RESULT, OP_STATS_RESULT, OP_INFO_RESULT, OP_TRACE_RESULT, OP_BUSY, OP_ERROR}
+    {
+        OP_RESULT,
+        OP_STATS_RESULT,
+        OP_INFO_RESULT,
+        OP_TRACE_RESULT,
+        OP_MOVED,
+        OP_BUSY,
+        OP_ERROR,
+    }
 )
 
 # -- result kinds ------------------------------------------------------------
@@ -144,41 +161,63 @@ def _encode_name(name: str) -> bytes:
     return encode_uvarint(len(encoded)) + encoded
 
 
-def _trace_suffix(trace_id: int | None) -> bytes:
-    """The additive trace-id field: flag byte + uvarint, or nothing.
+#: tags of the additive tagged suffix fields a QUERY/BATCH payload may carry
+SUFFIX_TRACE = 0x01
+SUFFIX_ROUTE = 0x02
 
-    Appended after a QUERY/BATCH payload.  Servers that predate the
-    ``tracing`` feature ignore trailing request bytes, so a tracing client
-    interoperates with an old server unchanged (the trace is simply not
-    recorded); a traceless request is byte-identical to the pre-tracing
-    encoding.
+
+def _request_suffix(trace_id: int | None, route_version: int | None) -> bytes:
+    """The additive tagged suffix fields: ``tag byte + uvarint`` each.
+
+    Appended after a QUERY/BATCH payload in ascending tag order:
+    :data:`SUFFIX_TRACE` carries the trace id (the ``tracing`` feature),
+    :data:`SUFFIX_ROUTE` the client's routing-table version (the
+    ``routing`` feature).  Servers that predate a field ignore trailing
+    request bytes, so a tagging client interoperates with an old server
+    unchanged; a request without either field is byte-identical to the
+    original encoding.
     """
-    if trace_id is None:
-        return b""
-    return b"\x01" + encode_uvarint(trace_id)
+    out = b""
+    if trace_id is not None:
+        out += bytes([SUFFIX_TRACE]) + encode_uvarint(trace_id)
+    if route_version is not None:
+        out += bytes([SUFFIX_ROUTE]) + encode_uvarint(route_version)
+    return out
 
 
 def encode_query(
-    request_id: int, u: int, v: int, name: str = "", trace_id: int | None = None
+    request_id: int,
+    u: int,
+    v: int,
+    name: str = "",
+    trace_id: int | None = None,
+    route_version: int | None = None,
 ) -> bytes:
-    """A framed :data:`OP_QUERY` request (optionally trace-tagged)."""
+    """A framed :data:`OP_QUERY` request (optionally trace-/route-tagged)."""
     body = bytes([OP_QUERY]) + encode_uvarint(request_id) + _encode_name(name)
     return encode_frame(
-        body + encode_uvarint(u) + encode_uvarint(v) + _trace_suffix(trace_id)
+        body
+        + encode_uvarint(u)
+        + encode_uvarint(v)
+        + _request_suffix(trace_id, route_version)
     )
 
 
 def encode_batch(
-    request_id: int, pairs, name: str = "", trace_id: int | None = None
+    request_id: int,
+    pairs,
+    name: str = "",
+    trace_id: int | None = None,
+    route_version: int | None = None,
 ) -> bytes:
-    """A framed :data:`OP_BATCH` request (optionally trace-tagged)."""
+    """A framed :data:`OP_BATCH` request (optionally trace-/route-tagged)."""
     parts = [bytes([OP_BATCH]), encode_uvarint(request_id), _encode_name(name)]
     pairs = list(pairs)
     parts.append(encode_uvarint(len(pairs)))
     for u, v in pairs:
         parts.append(encode_uvarint(u))
         parts.append(encode_uvarint(v))
-    parts.append(_trace_suffix(trace_id))
+    parts.append(_request_suffix(trace_id, route_version))
     return encode_frame(b"".join(parts))
 
 
@@ -236,23 +275,38 @@ def encode_trace_request(
     return encode_frame(body)
 
 
-def _decode_trace_suffix(body: bytes, pos: int) -> int | None:
-    """The optional trailing trace id of a QUERY/BATCH request."""
-    if pos < len(body) and body[pos] == 1:
-        trace_id, _ = decode_uvarint(body, pos + 1)
-        return trace_id
-    return None
+def _decode_request_suffix(body: bytes, pos: int) -> tuple[int | None, int | None]:
+    """The optional tagged suffix fields of a QUERY/BATCH request.
+
+    Returns ``(trace_id, route_version)``.  Fields are ``tag byte +
+    uvarint`` in ascending tag order; an unknown tag stops the scan (it
+    belongs to a future feature this server does not speak — the remaining
+    bytes are ignored, per the additive-suffix contract).
+    """
+    trace_id = None
+    route_version = None
+    while pos < len(body):
+        tag = body[pos]
+        if tag == SUFFIX_TRACE and trace_id is None:
+            trace_id, pos = decode_uvarint(body, pos + 1)
+        elif tag == SUFFIX_ROUTE and route_version is None:
+            route_version, pos = decode_uvarint(body, pos + 1)
+        else:
+            break
+    return trace_id, route_version
 
 
 def decode_request(body: bytes):
-    """Decode one request body into ``(op, request_id, name, payload, trace_id)``.
+    """Decode one request body into
+    ``(op, request_id, name, payload, trace_id, route_version)``.
 
     ``payload`` is op-specific: ``(u, v)`` for QUERY, a pair list for BATCH,
     a node list or ``None`` for MATRIX, ``None`` for INFO, for STATS
     ``True`` when the optional detail flag byte is present (else ``None``),
-    and ``(limit, include_slow)`` for TRACE.  ``trace_id`` is the optional
-    additive trace tag of QUERY/BATCH requests (``None`` otherwise — the
-    ``tracing`` feature of RSP/1).
+    and ``(limit, include_slow)`` for TRACE.  ``trace_id`` and
+    ``route_version`` are the optional additive suffix tags of QUERY/BATCH
+    requests (``None`` otherwise — the ``tracing`` and ``routing`` features
+    of RSP/1).
     """
     if not body:
         raise ProtocolError("empty frame body")
@@ -262,11 +316,11 @@ def decode_request(body: bytes):
     try:
         request_id, pos = decode_uvarint(body, 1)
         if op == OP_INFO:
-            return op, request_id, "", None, None
+            return op, request_id, "", None, None, None
         if op == OP_TRACE:
             limit, pos = decode_uvarint(body, pos)
             include_slow = pos < len(body) and body[pos] == 1
-            return op, request_id, "", (limit, include_slow), None
+            return op, request_id, "", (limit, include_slow), None, None
         name_len, pos = decode_uvarint(body, pos)
         if pos + name_len > len(body):
             raise ValueError("truncated member name")
@@ -274,11 +328,12 @@ def decode_request(body: bytes):
         pos += name_len
         if op == OP_STATS:
             detail = pos < len(body) and body[pos] == 1
-            return op, request_id, name, True if detail else None, None
+            return op, request_id, name, True if detail else None, None, None
         if op == OP_QUERY:
             u, pos = decode_uvarint(body, pos)
             v, pos = decode_uvarint(body, pos)
-            return op, request_id, name, (u, v), _decode_trace_suffix(body, pos)
+            trace_id, route_version = _decode_request_suffix(body, pos)
+            return op, request_id, name, (u, v), trace_id, route_version
         count, pos = decode_uvarint(body, pos)
         if op == OP_BATCH:
             pairs = []
@@ -286,19 +341,20 @@ def decode_request(body: bytes):
                 u, pos = decode_uvarint(body, pos)
                 v, pos = decode_uvarint(body, pos)
                 pairs.append((u, v))
-            return op, request_id, name, pairs, _decode_trace_suffix(body, pos)
+            trace_id, route_version = _decode_request_suffix(body, pos)
+            return op, request_id, name, pairs, trace_id, route_version
         # OP_MATRIX: explicit-nodes flag distinguishes "all nodes" from []
         if pos >= len(body):
             raise ValueError("truncated matrix request")
         explicit = body[pos]
         pos += 1
         if not explicit:
-            return op, request_id, name, None, None
+            return op, request_id, name, None, None, None
         nodes = []
         for _ in range(count):
             node, pos = decode_uvarint(body, pos)
             nodes.append(node)
-        return op, request_id, name, nodes, None
+        return op, request_id, name, nodes, None, None
     except ValueError as error:
         raise ProtocolError(f"malformed request: {error}") from error
 
@@ -392,6 +448,31 @@ def encode_busy(request_id: int, retry_after_ms: int = 1) -> bytes:
     return encode_frame(body)
 
 
+def encode_moved(
+    request_id: int, version: int, name: str, host: str, port: int
+) -> bytes:
+    """A framed :data:`OP_MOVED` redirect hint (the ``routing`` feature).
+
+    Sent instead of an answer when a *routed* request (one carrying the
+    route-version suffix) names a member this worker does not own.  The
+    payload tells the client where to go and how stale it is: the
+    authoritative table version, the member name, and the owning slot's
+    direct ``host:port``.  Requests without the suffix are never redirected
+    — the worker serves them in place so pre-routing clients keep working.
+    """
+    encoded_host = host.encode("utf-8")
+    body = (
+        bytes([OP_MOVED])
+        + encode_uvarint(request_id)
+        + encode_uvarint(version)
+        + _encode_name(name)
+        + encode_uvarint(len(encoded_host))
+        + encoded_host
+        + encode_uvarint(port)
+    )
+    return encode_frame(body)
+
+
 def encode_error(request_id: int, message: str) -> bytes:
     """A framed :data:`OP_ERROR` response."""
     encoded = message.encode("utf-8")
@@ -415,8 +496,9 @@ def decode_response(body: bytes):
     """Decode one response body into ``(op, request_id, payload)``.
 
     ``payload`` is ``(kind, ratio_bound, values)`` for RESULT, a ``dict``
-    for STATS_RESULT / INFO_RESULT, an error-message string for ERROR and
-    the retry-after hint in milliseconds (an ``int``) for BUSY.
+    for STATS_RESULT / INFO_RESULT, an error-message string for ERROR,
+    the retry-after hint in milliseconds (an ``int``) for BUSY and
+    ``(version, name, host, port)`` for MOVED.
     """
     if not body:
         raise ProtocolError("empty frame body")
@@ -428,6 +510,16 @@ def decode_response(body: bytes):
         if op == OP_BUSY:
             retry_after_ms, pos = decode_uvarint(body, pos)
             return op, request_id, retry_after_ms
+        if op == OP_MOVED:
+            version, pos = decode_uvarint(body, pos)
+            name_len, pos = decode_uvarint(body, pos)
+            name = body[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            host_len, pos = decode_uvarint(body, pos)
+            host = body[pos : pos + host_len].decode("utf-8")
+            pos += host_len
+            port, pos = decode_uvarint(body, pos)
+            return op, request_id, (version, name, host, port)
         if op == OP_ERROR:
             length, pos = decode_uvarint(body, pos)
             return op, request_id, body[pos : pos + length].decode("utf-8")

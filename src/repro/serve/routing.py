@@ -1,0 +1,197 @@
+"""Consistent-hash member placement for the serving fleet.
+
+The fleet supervisor partitions catalog members across worker slots with a
+consistent-hash ring so that each worker opens (and caches) only the members
+it owns.  Placement properties the rest of the stack relies on:
+
+* **Stability** — member → slot assignment depends only on the member name,
+  the slot ids and the ring geometry, never on dict ordering or process
+  state, so a re-forked slot reclaims exactly the members it served before
+  and adding a slot moves only ~1/slots of the members.
+* **Bounded load** — the ring walk skips slots that already carry their
+  fair share (capacity = ceil(expected * load_factor)), so a pathological
+  hash clustering cannot starve a slot.
+* **Replication** — hot members may be owned by several slots
+  (``replication > 1``); routed clients pick the first owner, while any
+  owner answers without a redirect.
+
+A *routing table* is the serialisable snapshot of one placement decision,
+versioned so clients can detect staleness and workers can answer
+``MOVED``-style redirect hints carrying the authoritative version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from math import ceil
+
+#: virtual nodes per slot on the ring; enough for <2% assignment imbalance
+#: at single-digit slot counts without making ring construction noticeable
+DEFAULT_VNODES = 64
+
+#: headroom multiplier for the bounded-load capacity check
+DEFAULT_LOAD_FACTOR = 1.25
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash of ``key`` (process-seed independent)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring mapping member names to worker slots.
+
+    ``slots`` is a sequence of slot identifiers (ints for the fleet, but any
+    hashable stringifiable id works).  Each slot projects ``vnodes`` points
+    onto the ring; a member lands at its own hash and walks clockwise
+    collecting the first ``replication`` distinct slots that still have
+    capacity.
+    """
+
+    def __init__(self, slots, *, vnodes: int = DEFAULT_VNODES) -> None:
+        slots = list(slots)
+        if not slots:
+            raise ValueError("HashRing needs at least one slot")
+        if len(set(slots)) != len(slots):
+            raise ValueError(f"duplicate slot ids: {slots!r}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.slots = slots
+        self.vnodes = vnodes
+        points = []
+        for slot in slots:
+            for vnode in range(vnodes):
+                points.append((_hash64(f"{slot}#{vnode}"), slot))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def _walk(self, name: str):
+        """Slots in ring order starting at ``name``'s position (dups kept)."""
+        start = bisect_right(self._hashes, _hash64(name))
+        count = len(self._points)
+        for step in range(count):
+            yield self._points[(start + step) % count][1]
+
+    def owners(self, name: str, *, replication: int = 1) -> list[int]:
+        """The first ``replication`` distinct slots clockwise of ``name``."""
+        owners: list[int] = []
+        for slot in self._walk(name):
+            if slot not in owners:
+                owners.append(slot)
+                if len(owners) >= min(replication, len(self.slots)):
+                    break
+        return owners
+
+    def assign(
+        self,
+        members,
+        *,
+        replication: int = 1,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+    ) -> dict[str, list[int]]:
+        """Bounded-load assignment of every member to its owner slots.
+
+        Returns ``{member_name: [slot, ...]}`` with owners in preference
+        order (the first owner is the routed client's target).  Assignment
+        is order-independent: members are placed in sorted-name order so the
+        result is a pure function of (members, slots, geometry), not of the
+        caller's iteration order.
+        """
+        members = sorted(set(members))
+        replication = max(1, min(replication, len(self.slots)))
+        if not members:
+            return {}
+        expected = replication * len(members) / len(self.slots)
+        capacity = max(1, ceil(expected * load_factor))
+        load = {slot: 0 for slot in self.slots}
+        assignment: dict[str, list[int]] = {}
+        for name in members:
+            owners: list[int] = []
+            # first pass honours the capacity bound; if every slot is full
+            # (rounding at tiny member counts) fall back to the unbounded walk
+            for slot in self._walk(name):
+                if slot in owners:
+                    continue
+                if load[slot] < capacity:
+                    owners.append(slot)
+                    load[slot] += 1
+                    if len(owners) >= replication:
+                        break
+            if len(owners) < replication:
+                for slot in self._walk(name):
+                    if slot not in owners:
+                        owners.append(slot)
+                        load[slot] += 1
+                        if len(owners) >= replication:
+                            break
+            assignment[name] = owners
+        return assignment
+
+
+def build_routing_table(
+    member_names,
+    slot_endpoints: dict[int, tuple[str, int]],
+    *,
+    version: int,
+    replication: int = 1,
+    vnodes: int = DEFAULT_VNODES,
+    load_factor: float = DEFAULT_LOAD_FACTOR,
+    generation: str | None = None,
+) -> dict:
+    """One versioned, JSON-serialisable routing table.
+
+    ``slot_endpoints`` maps slot id → ``(host, port)`` of that worker's
+    direct listener.  The table shape (stable across the stack: INFO
+    payloads, client caches, metrics)::
+
+        {
+          "version": 3,
+          "replication": 1,
+          "generation": "freedman@1a2b..." | None,
+          "members": {"acl": [1], "backbone": [0, 1], ...},
+          "slots": {"0": ["127.0.0.1", 40001], "1": ["127.0.0.1", 40002]},
+        }
+
+    Slot keys are strings so the table survives JSON round-trips unchanged.
+    """
+    ring = HashRing(sorted(slot_endpoints), vnodes=vnodes)
+    assignment = ring.assign(
+        member_names, replication=replication, load_factor=load_factor
+    )
+    return {
+        "version": int(version),
+        "replication": max(1, min(int(replication), len(slot_endpoints))),
+        "generation": generation,
+        "members": {name: list(owners) for name, owners in assignment.items()},
+        "slots": {
+            str(slot): [host, int(port)]
+            for slot, (host, port) in sorted(slot_endpoints.items())
+        },
+    }
+
+
+def table_owners(table: dict, name: str) -> list[int]:
+    """Owner slots for ``name`` in ``table`` (empty when unknown)."""
+    return list(table.get("members", {}).get(name, ()))
+
+
+def table_endpoint(table: dict, slot: int) -> tuple[str, int] | None:
+    """The ``(host, port)`` direct endpoint of ``slot``, if published."""
+    entry = table.get("slots", {}).get(str(slot))
+    if not entry:
+        return None
+    host, port = entry
+    return str(host), int(port)
+
+
+def member_endpoint(table: dict, name: str) -> tuple[str, int] | None:
+    """The preferred direct endpoint for ``name`` (first owner), if any."""
+    for slot in table_owners(table, name):
+        endpoint = table_endpoint(table, slot)
+        if endpoint is not None:
+            return endpoint
+    return None

@@ -55,41 +55,56 @@ def test_request_frames_round_trip():
     cases = [
         (
             protocol.encode_query(7, 3, 42, "m"),
-            (protocol.OP_QUERY, 7, "m", (3, 42), None),
+            (protocol.OP_QUERY, 7, "m", (3, 42), None, None),
         ),
         (
             protocol.encode_query(8, 3, 42, "m", trace_id=12345),
-            (protocol.OP_QUERY, 8, "m", (3, 42), 12345),
+            (protocol.OP_QUERY, 8, "m", (3, 42), 12345, None),
+        ),
+        (
+            protocol.encode_query(18, 3, 42, "m", route_version=4),
+            (protocol.OP_QUERY, 18, "m", (3, 42), None, 4),
+        ),
+        (
+            protocol.encode_query(19, 3, 42, "m", trace_id=9, route_version=4),
+            (protocol.OP_QUERY, 19, "m", (3, 42), 9, 4),
         ),
         (
             protocol.encode_batch(9, [(1, 2), (3, 4)], ""),
-            (protocol.OP_BATCH, 9, "", [(1, 2), (3, 4)], None),
+            (protocol.OP_BATCH, 9, "", [(1, 2), (3, 4)], None, None),
         ),
         (
             protocol.encode_batch(10, [(1, 2)], "", trace_id=7),
-            (protocol.OP_BATCH, 10, "", [(1, 2)], 7),
+            (protocol.OP_BATCH, 10, "", [(1, 2)], 7, None),
+        ),
+        (
+            protocol.encode_batch(20, [(1, 2)], "", route_version=2),
+            (protocol.OP_BATCH, 20, "", [(1, 2)], None, 2),
         ),
         (
             protocol.encode_matrix(11, [5, 6], "x"),
-            (protocol.OP_MATRIX, 11, "x", [5, 6], None),
+            (protocol.OP_MATRIX, 11, "x", [5, 6], None, None),
         ),
         (
             protocol.encode_matrix(12, None, "x"),
-            (protocol.OP_MATRIX, 12, "x", None, None),
+            (protocol.OP_MATRIX, 12, "x", None, None, None),
         ),
         (
             protocol.encode_matrix(13, [], "x"),
-            (protocol.OP_MATRIX, 13, "x", [], None),
+            (protocol.OP_MATRIX, 13, "x", [], None, None),
         ),
-        (protocol.encode_stats(14, "y"), (protocol.OP_STATS, 14, "y", None, None)),
+        (
+            protocol.encode_stats(14, "y"),
+            (protocol.OP_STATS, 14, "y", None, None, None),
+        ),
         (
             protocol.encode_stats(16, "y", reservoir=True),
-            (protocol.OP_STATS, 16, "y", True, None),
+            (protocol.OP_STATS, 16, "y", True, None, None),
         ),
-        (protocol.encode_info(15), (protocol.OP_INFO, 15, "", None, None)),
+        (protocol.encode_info(15), (protocol.OP_INFO, 15, "", None, None, None)),
         (
             protocol.encode_trace_request(17, limit=16, slow=False),
-            (protocol.OP_TRACE, 17, "", (16, False), None),
+            (protocol.OP_TRACE, 17, "", (16, False), None, None),
         ),
     ]
     decoder = protocol.FrameDecoder()

@@ -91,8 +91,22 @@ def test_stats_reservoir_flag_round_trips():
     decoder.feed(plain)
     decoder.feed(flagged)
     bodies = decoder.frames()
-    assert protocol.decode_request(bodies[0]) == (protocol.OP_STATS, 3, "m", None, None)
-    assert protocol.decode_request(bodies[1]) == (protocol.OP_STATS, 4, "m", True, None)
+    assert protocol.decode_request(bodies[0]) == (
+        protocol.OP_STATS,
+        3,
+        "m",
+        None,
+        None,
+        None,
+    )
+    assert protocol.decode_request(bodies[1]) == (
+        protocol.OP_STATS,
+        4,
+        "m",
+        True,
+        None,
+        None,
+    )
 
 
 def test_stats_reservoir_is_opt_in(tree, index):
@@ -192,7 +206,7 @@ async def _always_busy_connection(reader, writer):
             break
         decoder.feed(data)
         for body in decoder.frames():
-            _, request_id, _, _, _ = protocol.decode_request(body)
+            request_id = protocol.decode_request(body)[1]
             writer.write(protocol.encode_busy(request_id, 1))
 
 
